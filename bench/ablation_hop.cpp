@@ -1,0 +1,48 @@
+// E5: search-strategy ablation — the paper's hybrid (random hops, then a
+// round-robin sweep) against the pure strategies.
+//
+// Random-only avoids contention but cannot certify a failed sweep cheaply;
+// round-robin-only is bounded but herds threads onto consecutive sub-stacks
+// (the paper explicitly randomises the post-CAS-failure hop "to reduce
+// possible contention on consecutive sub-stacks"). The hybrid should match
+// or beat both.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+
+  struct Mode {
+    const char* label;
+    r2d::core::HopMode mode;
+  };
+  const std::vector<Mode> modes = {
+      {"hybrid (paper)", r2d::core::HopMode::kHybrid},
+      {"random-only", r2d::core::HopMode::kRandomOnly},
+      {"round-robin-only", r2d::core::HopMode::kRoundRobinOnly},
+  };
+
+  r2d::util::Table table(
+      {"threads", "hop_mode", "mops", "stddev", "mean_err"});
+  std::cout << "=== E5: hop-strategy ablation (2D-stack, k per fig2) ===\n";
+  for (unsigned threads : {2u, 4u, 8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    for (const auto& m : modes) {
+      AlgoConfig cfg = fig2_config("2D-stack", threads);
+      cfg.hop_mode = m.mode;
+      const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+      table.add_row({std::to_string(threads), m.label,
+                     r2d::util::Table::num(p.mops),
+                     r2d::util::Table::num(p.mops_stddev),
+                     r2d::util::Table::num(p.mean_error)});
+    }
+  }
+  emit(table, env, "ablation_hop");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E11: prefill sensitivity.
+//
+// The paper initialises every stack with 32768 items "to avoid NULL returns
+// that might arise from empty sub-stacks" (§4). This bench quantifies that
+// choice: throughput and the empty-pop rate as the initial population
+// shrinks toward zero. Near-empty relaxed stacks spend their time in the
+// slow paths (full sweeps, down-shifts, segment unlinks), so the prefill is
+// not cosmetic — it selects which regime the figures measure.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const unsigned threads = std::min(8u, env.max_threads);
+  const std::vector<std::string> algos = {"treiber", "k-segment", "2D-stack"};
+
+  r2d::util::Table table(
+      {"prefill", "algorithm", "mops", "empty_pop_pct"});
+  std::cout << "=== E11: prefill sensitivity, P = " << threads << " ===\n";
+  for (const std::uint64_t prefill :
+       {0ull, 256ull, 4096ull, 32768ull, 262144ull}) {
+    for (const auto& algo : algos) {
+      AlgoConfig cfg = fig2_config(algo, threads);
+      auto w = env.workload(threads);
+      w.prefill = prefill;
+      const Point p = run_algorithm(cfg, w, env.repeats);
+      // empty_pops accumulated over repeats; ops/sec * duration * repeats
+      // approximates total ops for the percentage.
+      const double total_ops =
+          p.mops * 1e6 * (static_cast<double>(env.duration_ms) / 1000.0) *
+          env.repeats;
+      const double pct =
+          total_ops > 0 ? 100.0 * static_cast<double>(p.empty_pops) / total_ops
+                        : 0.0;
+      table.add_row({std::to_string(prefill), algo,
+                     r2d::util::Table::num(p.mops),
+                     r2d::util::Table::num(pct, 1)});
+    }
+  }
+  emit(table, env, "ablation_prefill");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E7: reclamation-scheme ablation — EBR (default) vs hazard pointers vs
+// leak-only, on the 2D-stack and the Treiber baseline.
+//
+// Hazard pointers pay a sequentially-consistent publish per protected
+// dereference (every pop); epochs pay two plain stores per operation and
+// amortised advancement scans; leaky pays nothing and leaks. The gap
+// between leaky and the others is the total cost of safe reclamation.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace {
+
+using namespace r2d::bench;
+
+template <template <typename, typename> class StackT, typename Reclaimer>
+Point measure_stack(const r2d::harness::Workload& w, unsigned repeats,
+                    std::size_t width) {
+  return measure_with<StackT<Label, Reclaimer>>(
+      [width] {
+        if constexpr (std::is_constructible_v<StackT<Label, Reclaimer>,
+                                              r2d::core::TwoDParams>) {
+          r2d::core::TwoDParams p;
+          p.width = width;
+          p.depth = 8;
+          p.shift = 4;
+          return std::make_unique<StackT<Label, Reclaimer>>(p);
+        } else {
+          return std::make_unique<StackT<Label, Reclaimer>>();
+        }
+      },
+      w, repeats);
+}
+
+}  // namespace
+
+int main() {
+  r2d::util::install_crash_tracer();
+  const BenchEnv env = BenchEnv::load();
+
+  r2d::util::Table table(
+      {"stack", "reclaimer", "threads", "mops", "stddev"});
+  std::cout << "=== E7: reclamation ablation ===\n";
+  for (unsigned threads : {1u, 4u, 8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    const auto w = env.workload(threads);
+    const std::size_t width = 4 * threads;
+
+    struct Row {
+      const char* stack;
+      const char* reclaimer;
+      Point p;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"2D-stack", "epoch",
+                    measure_stack<r2d::TwoDStack, r2d::reclaim::EpochReclaimer>(
+                        w, env.repeats, width)});
+    rows.push_back(
+        {"2D-stack", "hazard",
+         measure_stack<r2d::TwoDStack, r2d::reclaim::HazardReclaimer>(
+             w, env.repeats, width)});
+    rows.push_back(
+        {"2D-stack", "leaky",
+         measure_stack<r2d::TwoDStack, r2d::reclaim::LeakyReclaimer>(
+             w, env.repeats, width)});
+    rows.push_back(
+        {"treiber", "epoch",
+         measure_stack<r2d::stacks::TreiberStack,
+                       r2d::reclaim::EpochReclaimer>(w, env.repeats, width)});
+    rows.push_back(
+        {"treiber", "hazard",
+         measure_stack<r2d::stacks::TreiberStack,
+                       r2d::reclaim::HazardReclaimer>(w, env.repeats, width)});
+    for (const auto& row : rows) {
+      table.add_row({row.stack, row.reclaimer, std::to_string(threads),
+                     r2d::util::Table::num(row.p.mops),
+                     r2d::util::Table::num(row.p.mops_stddev)});
+    }
+  }
+  emit(table, env, "ablation_reclaimer");
+  return 0;
+}

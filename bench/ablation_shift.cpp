@@ -1,0 +1,45 @@
+// E6: window shift-size ablation.
+//
+// shift controls how far the window jumps when a sweep fails: small shifts
+// move the band often (more global CAS traffic, tighter k by Theorem 1);
+// shift = depth moves it rarely but spends the whole band each time. The
+// paper requires shift <= depth and Theorem 1 charges 2*shift to the bound;
+// this bench quantifies the throughput/quality trade along that axis.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const unsigned threads = std::min(8u, env.max_threads);
+  const std::uint64_t depth = 32;
+  const std::size_t width = 4 * threads;
+
+  r2d::util::Table table(
+      {"shift", "k_bound", "mops", "stddev", "mean_err", "max_err"});
+  std::cout << "=== E6: shift ablation (width " << width << ", depth "
+            << depth << ", P = " << threads << ") ===\n";
+  for (std::uint64_t shift : {1ull, 4ull, 8ull, 16ull, 32ull}) {
+    AlgoConfig cfg;
+    cfg.name = "2D-stack";
+    cfg.threads = threads;
+    cfg.width_override = width;
+    cfg.depth_override = depth;
+    cfg.shift_override = shift;
+    const auto params = two_d_params_for(cfg);
+    const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+    table.add_row({std::to_string(shift), std::to_string(params.k_bound()),
+                   r2d::util::Table::num(p.mops),
+                   r2d::util::Table::num(p.mops_stddev),
+                   r2d::util::Table::num(p.mean_error),
+                   r2d::util::Table::num(p.max_error, 0)});
+  }
+  emit(table, env, "ablation_shift");
+  return 0;
+}

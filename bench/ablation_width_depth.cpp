@@ -1,0 +1,59 @@
+// E4: width vs depth at (approximately) fixed k.
+//
+// Theorem 1 allows the same relaxation budget k to be spent horizontally
+// (many sub-stacks, depth 1) or vertically (few sub-stacks, deep windows).
+// The paper's Figure 1 discussion claims horizontal buys throughput until
+// width ~ 4P and vertical is the cheaper way to grow k beyond that, with a
+// smaller quality penalty. This bench walks the (width, depth) iso-k curve
+// and prints both metrics so that claim is directly inspectable.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const unsigned threads = std::min(8u, env.max_threads);
+  const std::uint64_t k_target = 2048;
+
+  // Iso-k shapes: (2*shift + depth)*(width-1) ~ k with shift = depth/2.
+  struct ShapeChoice {
+    std::size_t width;
+    std::uint64_t depth;
+  };
+  std::vector<ShapeChoice> shapes;
+  for (std::size_t width : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const std::uint64_t span = width - 1;
+    const std::uint64_t depth =
+        std::max<std::uint64_t>(1, k_target / (2 * span));
+    shapes.push_back({width, depth});
+  }
+
+  r2d::util::Table table({"width", "depth", "shift", "k_bound", "mops",
+                          "mean_err", "max_err"});
+  std::cout << "=== E4: width vs depth at iso-k ~ " << k_target
+            << ", P = " << threads << " ===\n";
+  for (const auto& shape : shapes) {
+    AlgoConfig cfg;
+    cfg.name = "2D-stack";
+    cfg.k = k_target;
+    cfg.threads = threads;
+    cfg.width_override = shape.width;
+    cfg.depth_override = shape.depth;
+    const auto params = two_d_params_for(cfg);
+    const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+    table.add_row({std::to_string(params.width), std::to_string(params.depth),
+                   std::to_string(params.shift),
+                   std::to_string(params.k_bound()),
+                   r2d::util::Table::num(p.mops),
+                   r2d::util::Table::num(p.mean_error),
+                   r2d::util::Table::num(p.max_error, 0)});
+  }
+  emit(table, env, "ablation_width_depth");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// EXT: 2D-Queue scaling — evidence for the paper's future-work claim.
+//
+// The conclusion promises the 2D design "generalizes ... to other
+// concurrent data structures". This bench measures the 2D-Queue against
+// its own width-1 configuration — which degenerates to a plain
+// Michael-Scott queue with a strict FIFO window — over the thread sweep,
+// plus the measured FIFO error distance. The stack's Figure-2 shape
+// (strict collapses, windowed relaxation scales, error stays bounded)
+// should transfer.
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "common.hpp"
+#include "core/two_d_queue.hpp"
+#include "util/crash_trace.hpp"
+
+namespace {
+
+using namespace r2d::bench;
+
+/// Adapter: expose the queue through the push/pop shape the harness drives.
+template <typename Queue>
+struct AsStack {
+  using value_type = typename Queue::value_type;
+  Queue queue;
+
+  explicit AsStack(r2d::core::TwoDParams p) : queue(std::move(p)) {}
+  void push(value_type v) { queue.enqueue(std::move(v)); }
+  std::optional<value_type> pop() { return queue.dequeue(); }
+  bool empty() const { return queue.empty(); }
+  std::uint64_t approx_size() const { return queue.approx_size(); }
+};
+
+r2d::core::TwoDParams queue_params(std::size_t width) {
+  r2d::core::TwoDParams p;
+  p.width = width;
+  p.depth = 16;
+  p.shift = 8;
+  return p;
+}
+
+/// Queue quality must be measured against FIFO order (the stack harness's
+/// oracle is LIFO), so this bench runs its own instrumented quality pass.
+r2d::harness::QualityResult run_queue_quality(r2d::core::TwoDParams params,
+                                              const r2d::harness::Workload& w) {
+  r2d::TwoDQueue<Label> queue(params);
+  r2d::quality::InstrumentedQueue<r2d::TwoDQueue<Label>> instrumented(queue);
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+  std::barrier sync(static_cast<std::ptrdiff_t>(w.threads) + 1);
+  for (unsigned t = 0; t < w.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (w.pin_threads) r2d::util::pin_worker(t);
+      r2d::harness::LabelSequence labels(t);
+      const std::uint64_t share =
+          w.prefill / w.threads + (t < w.prefill % w.threads ? 1 : 0);
+      for (std::uint64_t i = 0; i < share; ++i) instrumented.enqueue(labels());
+      sync.arrive_and_wait();
+      sync.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (r2d::harness::choose_push(w.push_ratio)) {
+          instrumented.enqueue(labels());
+        } else {
+          instrumented.dequeue();
+        }
+      }
+    });
+  }
+  sync.arrive_and_wait();
+  sync.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(w.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+  r2d::harness::QualityResult q;
+  q.mean_error = instrumented.errors().mean();
+  q.max_error = instrumented.errors().max();
+  q.samples = instrumented.errors().count();
+  q.unknown_labels = instrumented.unknown_labels();
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  r2d::util::install_crash_tracer();
+  const BenchEnv env = BenchEnv::load();
+  r2d::util::Table table({"threads", "config", "mops", "stddev", "mean_err",
+                          "max_err"});
+  std::cout << "=== EXT: 2D-Queue scaling (width 1 == strict MS queue) ===\n";
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    const auto w = env.workload(threads);
+    struct Config {
+      const char* name;
+      std::size_t width;
+    };
+    for (const Config cfg : {Config{"ms-queue (w=1)", 1},
+                             Config{"2D-queue (w=4P)", 4 * threads}}) {
+      const auto params = queue_params(cfg.width);
+      std::vector<double> mops;
+      for (unsigned rep = 0; rep < env.repeats; ++rep) {
+        AsStack<r2d::TwoDQueue<Label>> adapter(params);
+        mops.push_back(r2d::harness::run_throughput(adapter, w).mops);
+      }
+      const auto summary = r2d::util::summarize(std::move(mops));
+      const auto quality = run_queue_quality(params, w);
+      table.add_row({std::to_string(threads), cfg.name,
+                     r2d::util::Table::num(summary.mean),
+                     r2d::util::Table::num(summary.stddev),
+                     r2d::util::Table::num(quality.mean_error),
+                     r2d::util::Table::num(quality.max_error, 0)});
+    }
+  }
+  emit(table, env, "ext_queue_scaling");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 1 reproduction: throughput and observed accuracy as the k bound
+// for relaxation increases, for the k-bounded algorithms (2D-stack,
+// k-segment, k-robin) at P = 8 and P = 16.
+//
+// Paper shape to check (see EXPERIMENTS.md):
+//   * 2D-stack dominates throughput at every relaxation level;
+//   * all algorithms gain throughput with k, 2D-stack most steeply;
+//   * observed error grows ~linearly with k for k-segment/k-robin, while
+//     2D-stack keeps markedly lower error once it grows depth instead of
+//     width (the horizontal -> vertical switch above width = 4P).
+//
+// Workload: 50/50 push-pop, no think time, prefill 32768 (paper §4).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const std::vector<std::uint64_t> ks = {1,   4,    16,   64,   256,
+                                         1024, 4096, 16384};
+  const std::vector<std::string> algos = {"k-robin", "k-segment", "2D-stack"};
+
+  for (unsigned threads : {8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    r2d::util::Table table(
+        {"k", "algorithm", "mops", "stddev", "mean_err", "max_err"});
+    std::cout << "=== Figure 1: relaxation sweep, P = " << threads
+              << " (duration " << env.duration_ms << " ms x " << env.repeats
+              << " repeats) ===\n";
+    for (const std::uint64_t k : ks) {
+      for (const auto& algo : algos) {
+        AlgoConfig cfg;
+        cfg.name = algo;
+        cfg.k = k;
+        cfg.threads = threads;
+        const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+        table.add_row({std::to_string(k), algo, r2d::util::Table::num(p.mops),
+                       r2d::util::Table::num(p.mops_stddev),
+                       r2d::util::Table::num(p.mean_error),
+                       r2d::util::Table::num(p.max_error, 0)});
+      }
+    }
+    emit(table, env, "fig1_p" + std::to_string(threads));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2 reproduction: throughput and observed accuracy as concurrency
+// increases (P = 1..16), all seven algorithms in their high-throughput
+// configurations. Threads 1-8 model the paper's intra-socket regime, 9-16
+// inter-socket (see DESIGN.md substitutions).
+//
+// Paper shape to check (see EXPERIMENTS.md):
+//   * treiber and elimination flatten or collapse as P grows;
+//   * the distributed designs scale; 2D-stack scales best and keeps
+//     climbing across the whole range;
+//   * random / random-c2 / k-segment keep roughly constant error (fixed
+//     sub-structure count); k-robin and 2D-stack trade some error for
+//     throughput as P (and hence their width) grows.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+
+int main() {
+  r2d::util::install_crash_tracer();
+  using namespace r2d::bench;
+  const BenchEnv env = BenchEnv::load();
+  const std::vector<std::string> algos = {"treiber",   "elimination",
+                                          "k-segment", "random",
+                                          "random-c2", "k-robin",
+                                          "2D-stack"};
+  std::vector<unsigned> thread_counts;
+  for (unsigned t : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    if (t <= env.max_threads) thread_counts.push_back(t);
+  }
+
+  r2d::util::Table table({"threads", "algorithm", "mops", "stddev",
+                          "mean_err", "max_err"});
+  std::cout << "=== Figure 2: thread sweep, 1.." << env.max_threads
+            << " threads (duration " << env.duration_ms << " ms x "
+            << env.repeats << " repeats) ===\n"
+            << "(threads 1-8 ~ intra-socket, 9-16 ~ inter-socket; see "
+               "DESIGN.md)\n";
+  for (const unsigned threads : thread_counts) {
+    for (const auto& algo : algos) {
+      const AlgoConfig cfg = fig2_config(algo, threads);
+      const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+      table.add_row({std::to_string(threads), algo,
+                     r2d::util::Table::num(p.mops),
+                     r2d::util::Table::num(p.mops_stddev),
+                     r2d::util::Table::num(p.mean_error),
+                     r2d::util::Table::num(p.max_error, 0)});
+    }
+  }
+  emit(table, env, "fig2");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E9: per-operation latency percentiles for every algorithm.
+//
+// Throughput plots hide tails; a relaxed design that wins on average can
+// still stall individual operations (window shifts, segment maintenance,
+// elimination waits). This bench reports p50/p99/p99.9 per algorithm under
+// the Figure 2 workload so the tail story accompanies the mean story.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common.hpp"
+#include "util/crash_trace.hpp"
+#include "harness/latency.hpp"
+
+namespace {
+
+using namespace r2d::bench;
+
+template <typename Make>
+void profile(const char* name, Make&& make, unsigned threads,
+             const BenchEnv& env, r2d::util::Table& table) {
+  auto stack = make();
+  auto w = env.workload(threads);
+  const auto r = r2d::harness::run_latency(*stack, w);
+  table.add_row({name, std::to_string(threads),
+                 r2d::util::Table::num(r.p50(), 0),
+                 r2d::util::Table::num(r.p99(), 0),
+                 r2d::util::Table::num(r.p999(), 0),
+                 r2d::util::Table::num(static_cast<double>(r.histogram.max()),
+                                       0)});
+}
+
+}  // namespace
+
+int main() {
+  r2d::util::install_crash_tracer();
+  const BenchEnv env = BenchEnv::load();
+  r2d::util::Table table(
+      {"algorithm", "threads", "p50_ns", "p99_ns", "p99.9_ns", "max_ns"});
+  std::cout << "=== E9: per-op latency percentiles ===\n";
+  for (unsigned threads : {1u, 8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    profile(
+        "treiber",
+        [] { return std::make_unique<r2d::stacks::TreiberStack<Label>>(); },
+        threads, env, table);
+    profile(
+        "elimination",
+        [threads] {
+          r2d::stacks::EliminationParams p;
+          p.collision_slots = std::max<std::size_t>(4, 2 * threads);
+          p.spin_budget = 1024;
+          return std::make_unique<r2d::stacks::EliminationStack<Label>>(p);
+        },
+        threads, env, table);
+    profile(
+        "k-segment",
+        [threads] {
+          return std::make_unique<r2d::stacks::KSegmentStack<Label>>(
+              4 * threads);
+        },
+        threads, env, table);
+    profile(
+        "random",
+        [threads] {
+          return std::make_unique<r2d::stacks::RandomStack<Label>>(4 * threads);
+        },
+        threads, env, table);
+    profile(
+        "2D-stack",
+        [threads] {
+          r2d::core::TwoDParams p;
+          p.width = 4 * std::max(1u, threads);
+          p.depth = 16;
+          p.shift = 8;
+          return std::make_unique<r2d::TwoDStack<Label>>(p);
+        },
+        threads, env, table);
+  }
+  emit(table, env, "latency_profile");
+  return 0;
+}
