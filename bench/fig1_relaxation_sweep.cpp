@@ -25,13 +25,34 @@ int main() {
                                          1024, 4096, 16384};
   const std::vector<std::string> algos = {"k-robin", "k-segment", "2D-stack"};
 
+  std::vector<unsigned> thread_counts;
   for (unsigned threads : {8u, 16u}) {
-    if (threads > env.max_threads) continue;
+    if (threads <= env.max_threads) thread_counts.push_back(threads);
+  }
+  if (thread_counts.empty()) {
+    // Smoke settings (R2D_MAX_THREADS < 8): still produce the sweep at the
+    // largest permitted concurrency instead of printing nothing.
+    thread_counts.push_back(std::max(1u, env.max_threads));
+  }
+
+  for (unsigned threads : thread_counts) {
     r2d::util::Table table(
         {"k", "algorithm", "mops", "stddev", "mean_err", "max_err"});
     std::cout << "=== Figure 1: relaxation sweep, P = " << threads
               << " (duration " << env.duration_ms << " ms x " << env.repeats
               << " repeats) ===\n";
+    {
+      // Strict reference: the k -> 0 limit every relaxed point is judged
+      // against.
+      AlgoConfig cfg;
+      cfg.name = "treiber";
+      cfg.threads = threads;
+      const Point p = run_algorithm(cfg, env.workload(threads), env.repeats);
+      table.add_row({"0", "treiber (strict)", r2d::util::Table::num(p.mops),
+                     r2d::util::Table::num(p.mops_stddev),
+                     r2d::util::Table::num(p.mean_error),
+                     r2d::util::Table::num(p.max_error, 0)});
+    }
     for (const std::uint64_t k : ks) {
       for (const auto& algo : algos) {
         AlgoConfig cfg;

@@ -1,0 +1,94 @@
+// TwoDParams: the (width, depth, shift) shape of a 2D window structure.
+//
+// The paper's Theorem 1 bounds the rank error of a 2D stack by
+//
+//     k = (2*shift + depth) * (width - 1)
+//
+// so one relaxation budget k can be spent horizontally (more sub-stacks)
+// or vertically (deeper windows). for_k() implements the mapping DESIGN.md
+// §4 documents: grow width first (throughput-optimal) until the empirical
+// ceiling width = 4P, then grow depth with shift = depth/2.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace r2d::core {
+
+/// How a thread moves between sub-stacks after an ineligible probe or a
+/// failed CAS inside the current window.
+enum class HopMode : std::uint8_t {
+  kHybrid,         ///< paper: random hops first, then a round-robin sweep
+  kRandomOnly,     ///< random hops only; sweep certification is a re-scan
+  kRoundRobinOnly  ///< consecutive sub-stacks only
+};
+
+inline const char* to_string(HopMode m) {
+  switch (m) {
+    case HopMode::kHybrid: return "hybrid";
+    case HopMode::kRandomOnly: return "random-only";
+    case HopMode::kRoundRobinOnly: return "round-robin-only";
+  }
+  return "?";
+}
+
+struct TwoDParams {
+  std::size_t width = 1;     ///< number of sub-stacks (columns)
+  std::uint64_t depth = 1;   ///< window height (rows)
+  std::uint64_t shift = 1;   ///< window jump on a failed sweep, 1..depth
+  HopMode hop_mode = HopMode::kHybrid;
+
+  /// The width ceiling the paper found throughput-optimal: 4 sub-stacks
+  /// per thread.
+  static std::size_t max_width_for(unsigned threads) {
+    return std::size_t{4} * std::max(1u, threads);
+  }
+
+  /// Rank-error bound of this shape (Theorem 1). Zero iff width == 1
+  /// (strict LIFO).
+  std::uint64_t k_bound() const {
+    if (width <= 1) return 0;
+    return (2 * shift + depth) * (static_cast<std::uint64_t>(width) - 1);
+  }
+
+  /// Map a requested relaxation bound k onto a shape whose k_bound() never
+  /// exceeds k (monotonic k-relaxation): horizontal growth first, with the
+  /// minimal window (depth = shift = 1, so k_bound = 3*(width-1)), then
+  /// vertical growth at width = 4P with shift = depth/2.
+  static TwoDParams for_k(std::uint64_t k, unsigned threads) {
+    TwoDParams p;
+    if (k == 0) return p;  // width 1: strict
+    const std::size_t max_width = max_width_for(threads);
+    const std::size_t horizontal_width =
+        static_cast<std::size_t>(k / 3 + 1);
+    if (horizontal_width <= max_width) {
+      p.width = horizontal_width;
+      p.depth = 1;
+      p.shift = 1;
+      return p;
+    }
+    p.width = max_width;
+    const std::uint64_t span = static_cast<std::uint64_t>(max_width) - 1;
+    // With shift = depth/2 (floored), k_bound <= 2*depth*span <= k.
+    p.depth = std::max<std::uint64_t>(1, k / (2 * span));
+    p.shift = std::max<std::uint64_t>(1, p.depth / 2);
+    return p;
+  }
+
+  /// Throws std::invalid_argument when the shape violates the paper's
+  /// constraints (width >= 1, depth >= 1, 1 <= shift <= depth).
+  void validate() const {
+    if (width < 1) throw std::invalid_argument("TwoDParams: width must be >= 1");
+    if (depth < 1) throw std::invalid_argument("TwoDParams: depth must be >= 1");
+    if (shift < 1 || shift > depth) {
+      throw std::invalid_argument(
+          "TwoDParams: shift must be in [1, depth], got shift=" +
+          std::to_string(shift) + " depth=" + std::to_string(depth));
+    }
+  }
+};
+
+}  // namespace r2d::core

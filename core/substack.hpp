@@ -1,0 +1,57 @@
+// Count-carrying Treiber sub-stacks: the columns every distributed stack
+// in this repo is built from.
+//
+// Each node records the column's item count at the time it was pushed, so
+// the count of a column is a single dependent load off its head pointer and
+// is always exactly consistent with the head (the pair changes atomically
+// with the head CAS). The 2D window rules and the c2 load-balancing choice
+// both read these counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace r2d::core {
+
+template <typename T>
+struct StackNode {
+  StackNode* next;
+  std::uint64_t count;  ///< items in the column including this node
+  T value;
+};
+
+template <typename T>
+struct alignas(64) StackColumn {
+  std::atomic<StackNode<T>*> head{nullptr};
+};
+
+template <typename T>
+inline std::uint64_t column_count(const StackNode<T>* head) {
+  return head == nullptr ? 0 : head->count;
+}
+
+/// Single-threaded teardown helper for container destructors.
+template <typename T>
+inline void drain_column(StackColumn<T>& column) {
+  StackNode<T>* node = column.head.load(std::memory_order_relaxed);
+  column.head.store(nullptr, std::memory_order_relaxed);
+  while (node != nullptr) {
+    StackNode<T>* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+/// Thread-local PRNG for hop decisions (xorshift64*; cheap, no libc state).
+inline std::uint64_t hop_rand() {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      reinterpret_cast<std::uint64_t>(&state);
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace r2d::core

@@ -1,0 +1,302 @@
+// TwoDQueue: the 2D window design applied to FIFO queues — the paper's
+// future-work generalization the EXT bench measures.
+//
+// A width-array of Michael-Scott sub-queues. Each node carries its enqueue
+// serial within its column, so the tail's index is the column's enqueue
+// count and the dummy head's index is its dequeue count — both change
+// atomically with the corresponding CAS, no side counters. Both windows
+// only move up, by `shift`, after a certified failed sweep: enqueues are
+// eligible on a column whose enqueue count is below put_max; dequeues on a
+// non-empty column whose dequeue count is below get_max.
+// With width = 1 every operation is always eligible and the structure is a
+// plain strict MS queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/params.hpp"
+#include "core/substack.hpp"  // hop_rand
+#include "reclaim/epoch.hpp"
+
+namespace r2d {
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class TwoDQueue {
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::uint64_t index = 0;  ///< enqueue serial within the column; dummy = 0
+    T value{};
+  };
+
+  struct alignas(64) Column {
+    std::atomic<Node*> head{nullptr};  ///< dummy node; its index = #dequeued
+    std::atomic<Node*> tail{nullptr};
+  };
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  explicit TwoDQueue(core::TwoDParams params)
+      : params_(params),
+        put_max_(params.depth),
+        get_max_(params.depth),
+        columns_(new Column[params.width]) {
+    params_.validate();
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* dummy = new Node;
+      columns_[i].head.store(dummy, std::memory_order_relaxed);
+      columns_[i].tail.store(dummy, std::memory_order_relaxed);
+    }
+  }
+
+  TwoDQueue(const TwoDQueue&) = delete;
+  TwoDQueue& operator=(const TwoDQueue&) = delete;
+
+  ~TwoDQueue() {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* node = columns_[i].head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  const core::TwoDParams& params() const { return params_; }
+
+  void enqueue(T value) {
+    auto guard = reclaimer_.pin();
+    Node* node = new Node;
+    node->value = std::move(value);
+    std::uint64_t max = put_max_.load(std::memory_order_acquire);
+    std::size_t index = preferred_enq_index() % params_.width;
+    unsigned failed = 0;
+    while (true) {
+      {
+        const std::uint64_t cur = put_max_.load(std::memory_order_acquire);
+        if (cur != max) {
+          max = cur;
+          failed = 0;
+        }
+      }
+      Column& column = columns_[index];
+      Node* tail = guard.protect(column.tail, 0);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        // Help the lagging tail forward, then retry the same column.
+        column.tail.compare_exchange_strong(tail, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+        continue;
+      }
+      if (tail->index < max) {
+        node->index = tail->index + 1;
+        Node* expected = nullptr;
+        if (tail->next.compare_exchange_strong(expected, node,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+          column.tail.compare_exchange_strong(tail, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+          preferred_enq_index() = index;
+          return;
+        }
+        failed = 0;
+        index = hop(index);
+        continue;
+      }
+      if (++failed >= params_.width) {
+        // Random/hybrid probes can revisit columns; certify the failed
+        // sweep with a read-only scan before moving the window (the
+        // monotonic shift rule — same as the stack's kRandomOnly path).
+        const std::size_t eligible = scan_enqueue_eligible(guard, max);
+        if (eligible != params_.width) {
+          index = eligible;
+          failed = 0;
+          continue;
+        }
+        std::uint64_t expected = max;
+        put_max_.compare_exchange_strong(expected, max + params_.shift,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+        max = put_max_.load(std::memory_order_acquire);
+        failed = 0;
+        continue;
+      }
+      index = next_index(index, failed);
+    }
+  }
+
+  std::optional<T> dequeue() {
+    auto guard = reclaimer_.pin();
+    std::uint64_t max = get_max_.load(std::memory_order_acquire);
+    std::size_t index = preferred_deq_index() % params_.width;
+    unsigned failed = 0;
+    while (true) {
+      {
+        const std::uint64_t cur = get_max_.load(std::memory_order_acquire);
+        if (cur != max) {
+          max = cur;
+          failed = 0;
+        }
+      }
+      Column& column = columns_[index];
+      Node* head = guard.protect(column.head, 0);
+      Node* next = guard.protect(head->next, 1);
+      {
+        // MS-queue invariant: never move head past a node the tail still
+        // references — a retired dummy must be unreachable from both ends
+        // before hazard scans may free it.
+        Node* tail = column.tail.load(std::memory_order_acquire);
+        if (head == tail && next != nullptr) {
+          column.tail.compare_exchange_strong(tail, next,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+        }
+      }
+      if (next != nullptr && head->index < max) {
+        // head->index is this column's dequeue count; winning the CAS both
+        // takes the item and advances the count in one step, so the
+        // eligibility check cannot be overtaken by concurrent dequeuers.
+        if (column.head.compare_exchange_strong(head, next,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+          preferred_deq_index() = index;
+          T value = std::move(next->value);
+          guard.retire(head);
+          return value;
+        }
+        failed = 0;
+        index = hop(index);
+        continue;
+      }
+      if (++failed >= params_.width) {
+        // Certified failed sweep: one read-only scan decides between
+        // "missed an eligible column" (go there), "all empty" (report
+        // empty), and "non-empty columns all at the window" (shift) — so
+        // empty columns can never pump the window while eligible work
+        // exists.
+        const DequeueScan scan = scan_dequeue(guard, max);
+        if (scan.eligible != params_.width) {
+          index = scan.eligible;
+          failed = 0;
+          continue;
+        }
+        if (!scan.any_nonempty) return std::nullopt;
+        std::uint64_t expected = max;
+        get_max_.compare_exchange_strong(expected, max + params_.shift,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+        max = get_max_.load(std::memory_order_acquire);
+        failed = 0;
+        continue;
+      }
+      index = next_index(index, failed);
+    }
+  }
+
+  bool empty() {
+    auto guard = reclaimer_.pin();
+    return certify_all_empty(guard);
+  }
+
+  /// Racy sum of (enqueued - dequeued) per column.
+  std::uint64_t approx_size() {
+    auto guard = reclaimer_.pin();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* head = guard.protect(columns_[i].head, 0);
+      Node* tail = guard.protect(columns_[i].tail, 1);
+      total += tail->index > head->index ? tail->index - head->index : 0;
+    }
+    return total;
+  }
+
+ private:
+  /// Read-only certification scan for enqueues: index of an eligible
+  /// column, or width when every column is at the window.
+  template <typename Guard>
+  std::size_t scan_enqueue_eligible(Guard& guard, std::uint64_t max) {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* tail = guard.protect(columns_[i].tail, 0);
+      if (tail->index < max) return i;
+    }
+    return params_.width;
+  }
+
+  struct DequeueScan {
+    std::size_t eligible;  ///< width when no column is dequeue-eligible
+    bool any_nonempty;
+  };
+
+  template <typename Guard>
+  DequeueScan scan_dequeue(Guard& guard, std::uint64_t max) {
+    DequeueScan scan{params_.width, false};
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* head = guard.protect(columns_[i].head, 0);
+      if (head->next.load(std::memory_order_acquire) == nullptr) continue;
+      scan.any_nonempty = true;
+      if (head->index < max) {
+        scan.eligible = i;
+        return scan;
+      }
+    }
+    return scan;
+  }
+
+  template <typename Guard>
+  bool certify_all_empty(Guard& guard) {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* head = guard.protect(columns_[i].head, 0);
+      if (head->next.load(std::memory_order_acquire) != nullptr) return false;
+    }
+    return true;
+  }
+
+  std::size_t hop(std::size_t index) const {
+    if (params_.hop_mode == core::HopMode::kRoundRobinOnly) {
+      return (index + 1) % params_.width;
+    }
+    return static_cast<std::size_t>(core::hop_rand()) % params_.width;
+  }
+
+  std::size_t next_index(std::size_t index, unsigned failed) const {
+    switch (params_.hop_mode) {
+      case core::HopMode::kRoundRobinOnly:
+        return (index + 1) % params_.width;
+      case core::HopMode::kRandomOnly:
+        return static_cast<std::size_t>(core::hop_rand()) % params_.width;
+      case core::HopMode::kHybrid:
+      default:
+        // Random early, consecutive once the sweep is past half the width
+        // (cheap certification, like the stack's hybrid mode).
+        return failed * 2 >= params_.width
+                   ? (index + 1) % params_.width
+                   : static_cast<std::size_t>(core::hop_rand()) %
+                         params_.width;
+    }
+  }
+
+  std::size_t& preferred_enq_index() {
+    thread_local std::size_t index = 0;
+    return index;
+  }
+  std::size_t& preferred_deq_index() {
+    thread_local std::size_t index = 0;
+    return index;
+  }
+
+  core::TwoDParams params_;
+  alignas(64) std::atomic<std::uint64_t> put_max_;
+  alignas(64) std::atomic<std::uint64_t> get_max_;
+  std::unique_ptr<Column[]> columns_;
+  Reclaimer reclaimer_;
+};
+
+}  // namespace r2d

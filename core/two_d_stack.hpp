@@ -1,0 +1,323 @@
+// TwoDStack: the paper's 2D-stack — a width-array of Treiber sub-stacks
+// under a global k-relaxation window.
+//
+// The window is one shared word, window_max_. A push is eligible on a
+// column whose count is below window_max_; a pop is eligible on a column
+// whose count is above window_max_ - depth. Threads hop between columns
+// (HopMode) and only move the window after certifying a full failed sweep
+// — the monotonic window-shift rule: push shifts the window up by
+// `shift`, pop shifts it down, never past depth. Theorem 1 then bounds the
+// rank error by k = (2*shift + depth) * (width - 1) (see core/params.hpp).
+//
+// Memory reclamation is a template policy (see reclaim/leaky.hpp for the
+// contract); the default is epoch-based.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/params.hpp"
+#include "core/substack.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace r2d {
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class TwoDStack {
+  using Node = core::StackNode<T>;
+  using Column = core::StackColumn<T>;
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  explicit TwoDStack(core::TwoDParams params)
+      : params_(validated(std::move(params))),
+        columns_(std::make_unique<Column[]>(params_.width)) {
+    window_max_.store(params_.depth, std::memory_order_relaxed);
+  }
+
+  TwoDStack(const TwoDStack&) = delete;
+  TwoDStack& operator=(const TwoDStack&) = delete;
+
+  ~TwoDStack() {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      core::drain_column(columns_[i]);
+    }
+  }
+
+  const core::TwoDParams& params() const { return params_; }
+
+  void push(T value) {
+    auto guard = reclaimer_.pin();
+    Node* node = new Node{nullptr, 0, std::move(value)};
+    // Fast path: one probe of the thread's last successful column under
+    // the current window — no sweep state, no divisions.
+    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+    std::size_t& preferred = preferred_index();
+    if (preferred >= params_.width) [[unlikely]] preferred = 0;
+    const std::size_t index = preferred;
+    Column& column = columns_[index];
+    Node* head = guard.protect(column.head);
+    const std::uint64_t count = core::column_count(head);
+    if (count < max) [[likely]] {
+      node->next = head;
+      node->count = count + 1;
+      if (column.head.compare_exchange_strong(head, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed))
+          [[likely]] {
+        return;
+      }
+      push_slow(guard, node, max, index, /*contended=*/true);
+      return;
+    }
+    push_slow(guard, node, max, index, /*contended=*/false);
+  }
+
+  std::optional<T> pop() {
+    auto guard = reclaimer_.pin();
+    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+    // Invariant: window_max_ never drops below depth (init and down-shift
+    // both clamp), so the band bottom needs no underflow guard.
+    const std::uint64_t low = max - params_.depth;
+    std::size_t& preferred = preferred_index();
+    if (preferred >= params_.width) [[unlikely]] preferred = 0;
+    const std::size_t index = preferred;
+    Column& column = columns_[index];
+    Node* head = guard.protect(column.head);
+    if (head != nullptr && head->count > low) [[likely]] {
+      Node* next = head->next;
+      if (column.head.compare_exchange_strong(head, next,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed))
+          [[likely]] {
+        T value = std::move(head->value);
+        guard.retire(head);
+        return value;
+      }
+      return pop_slow(guard, max, index, /*contended=*/true);
+    }
+    return pop_slow(guard, max, index, /*contended=*/false);
+  }
+
+  /// True when every column's head was null at the moment it was read.
+  bool empty() const {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      if (columns_[i].head.load(std::memory_order_acquire) != nullptr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Racy sum of the column counts.
+  std::uint64_t approx_size() {
+    auto guard = reclaimer_.pin();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      total += core::column_count(guard.protect(columns_[i].head));
+    }
+    return total;
+  }
+
+ private:
+  /// Validate before any allocation so a bad shape cannot leak columns_.
+  static core::TwoDParams validated(core::TwoDParams params) {
+    params.validate();
+    return params;
+  }
+
+  template <typename Guard>
+  __attribute__((noinline)) void push_slow(Guard& guard, Node* node,
+                                           std::uint64_t max,
+                                           std::size_t start,
+                                           bool contended) {
+    Sweep sweep(params_, start);
+    if (contended) {
+      sweep.on_cas_fail();
+    } else {
+      sweep.on_ineligible();
+    }
+    while (true) {
+      refresh_window(max, sweep);
+      Column& column = columns_[sweep.index];
+      Node* head = guard.protect(column.head);
+      const std::uint64_t count = core::column_count(head);
+      if (count < max) {
+        node->next = head;
+        node->count = count + 1;
+        if (column.head.compare_exchange_strong(head, node,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+          preferred_index() = sweep.index;
+          return;
+        }
+        sweep.on_cas_fail();
+        continue;
+      }
+      sweep.on_ineligible();
+      if (needs_certification(sweep) &&
+          certify_failed_sweep(guard, sweep,
+                               [max](std::uint64_t c) { return c < max; })) {
+        shift_window(max, max + params_.shift);
+        sweep.reset();
+      }
+    }
+  }
+
+  template <typename Guard>
+  __attribute__((noinline)) std::optional<T> pop_slow(Guard& guard,
+                                                      std::uint64_t max,
+                                                      std::size_t start,
+                                                      bool contended) {
+    Sweep sweep(params_, start);
+    if (contended) {
+      sweep.on_cas_fail();
+    } else {
+      sweep.on_ineligible();
+    }
+    while (true) {
+      refresh_window(max, sweep);
+      const std::uint64_t low = max - params_.depth;  // max >= depth invariant
+      Column& column = columns_[sweep.index];
+      Node* head = guard.protect(column.head);
+      if (head != nullptr && head->count > low) {
+        Node* next = head->next;
+        if (column.head.compare_exchange_strong(head, next,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+          preferred_index() = sweep.index;
+          T value = std::move(head->value);
+          guard.retire(head);
+          return value;
+        }
+        sweep.on_cas_fail();
+        continue;
+      }
+      sweep.on_ineligible();
+      if (needs_certification(sweep) &&
+          certify_failed_sweep(guard, sweep, [low](std::uint64_t c) {
+            return c > low;
+          })) {
+        if (low == 0) {
+          // Window is already at the bottom and every column certified as
+          // at-or-below it, i.e. empty.
+          return std::nullopt;
+        }
+        shift_window(max, std::max(params_.depth, max - params_.shift));
+        sweep.reset();
+      }
+    }
+  }
+
+  /// Per-(thread, hop-mode) sweep state. Hybrid does params.width random
+  /// hops, then a round-robin streak that certifies; random-only never
+  /// certifies by streak and instead triggers a read-only verify scan;
+  /// round-robin certifies once the streak covers every column.
+  struct Sweep {
+    const core::TwoDParams& p;
+    std::size_t index;
+    unsigned random_probes = 0;
+    unsigned streak = 0;
+    bool round_robin;
+
+    Sweep(const core::TwoDParams& params, std::size_t start)
+        : p(params),
+          index(start % params.width),
+          round_robin(params.hop_mode == core::HopMode::kRoundRobinOnly) {}
+
+    void reset() {
+      random_probes = 0;
+      streak = 0;
+      round_robin = p.hop_mode == core::HopMode::kRoundRobinOnly;
+    }
+
+    void on_ineligible() {
+      if (round_robin) {
+        ++streak;
+        index = (index + 1) % p.width;
+        return;
+      }
+      ++random_probes;
+      index = static_cast<std::size_t>(core::hop_rand()) % p.width;
+      if (p.hop_mode == core::HopMode::kHybrid && random_probes >= p.width) {
+        round_robin = true;
+        streak = 0;
+      }
+    }
+
+    void on_cas_fail() {
+      // Contention: hop away (randomly, unless round-robin-only) and start
+      // the certification over — the observed column was eligible.
+      streak = 0;
+      random_probes = 0;
+      if (p.hop_mode == core::HopMode::kRoundRobinOnly) {
+        index = (index + 1) % p.width;
+      } else {
+        round_robin = false;
+        index = static_cast<std::size_t>(core::hop_rand()) % p.width;
+      }
+    }
+  };
+
+  static bool needs_certification(const Sweep& sweep) {
+    if (sweep.p.hop_mode == core::HopMode::kRandomOnly) {
+      return sweep.random_probes >= sweep.p.width;
+    }
+    return sweep.round_robin && sweep.streak >= sweep.p.width;
+  }
+
+  /// Certify that no column is eligible. Streak-based modes already proved
+  /// it; random-only pays a full read-only scan here (it cannot certify
+  /// from random probes). Returns false after repositioning the sweep when
+  /// the scan finds an eligible column.
+  template <typename Guard, typename Eligible>
+  bool certify_failed_sweep(Guard& guard, Sweep& sweep, Eligible eligible) {
+    if (sweep.p.hop_mode != core::HopMode::kRandomOnly) return true;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      const std::uint64_t count =
+          core::column_count(guard.protect(columns_[i].head));
+      if (eligible(count)) {
+        sweep.index = i;
+        sweep.random_probes = 0;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void refresh_window(std::uint64_t& max, Sweep& sweep) {
+    const std::uint64_t cur = window_max_.load(std::memory_order_acquire);
+    if (cur != max) {
+      max = cur;
+      sweep.reset();
+    }
+  }
+
+  void shift_window(std::uint64_t expected, std::uint64_t desired) {
+    window_max_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+  }
+
+  std::size_t& preferred_index() {
+    thread_local std::size_t index = 0;
+    return index;
+  }
+
+  // Layout: everything the fast path reads — the shape, the column array
+  // base, and the window — lives on one cacheline. Window shifts write
+  // that line, but a shift is amortized over at least a full sweep of
+  // failed probes, and every reader needs the new window value anyway.
+  alignas(64) core::TwoDParams params_;
+  std::unique_ptr<Column[]> columns_;
+  std::atomic<std::uint64_t> window_max_{0};
+  Reclaimer reclaimer_;
+};
+
+}  // namespace r2d

@@ -1,0 +1,118 @@
+// Per-operation latency measurement with a log-linear histogram.
+//
+// Buckets are power-of-two decades with 16 linear sub-buckets each
+// (HdrHistogram-style, ~6% resolution), covering 1 ns to the full uint64
+// range in 1 KiB of counters, so recording is two shifts and an increment
+// — cheap enough to time every operation.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace r2d::harness {
+
+class Histogram {
+  static constexpr unsigned kSubBits = 4;  // 16 sub-buckets per decade
+  static constexpr std::size_t kBuckets = 1024;
+
+ public:
+  void add(std::uint64_t ns) {
+    ++counts_[bucket_of(ns)];
+    ++total_;
+    if (ns > max_) max_ = ns;
+  }
+
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Lower bound of the bucket containing the q-quantile (q in [0, 1]).
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += static_cast<double>(counts_[i]);
+      if (cumulative >= target) return static_cast<double>(bucket_floor(i));
+    }
+    return static_cast<double>(max_);
+  }
+
+ private:
+  static std::size_t bucket_of(std::uint64_t ns) {
+    if (ns < (1u << kSubBits)) return static_cast<std::size_t>(ns);
+    const unsigned exp = 63 - static_cast<unsigned>(std::countl_zero(ns));
+    const std::uint64_t sub = (ns >> (exp - kSubBits)) & ((1u << kSubBits) - 1);
+    const std::size_t idx =
+        ((exp - kSubBits + 1) << kSubBits) + static_cast<std::size_t>(sub);
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static std::uint64_t bucket_floor(std::size_t index) {
+    if (index < (1u << kSubBits)) return index;
+    const unsigned exp =
+        static_cast<unsigned>(index >> kSubBits) + kSubBits - 1;
+    const std::uint64_t sub = index & ((1u << kSubBits) - 1);
+    return (std::uint64_t{1} << exp) | (sub << (exp - kSubBits));
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+struct LatencyResult {
+  Histogram histogram;
+  double p50() const { return histogram.quantile(0.50); }
+  double p99() const { return histogram.quantile(0.99); }
+  double p999() const { return histogram.quantile(0.999); }
+};
+
+/// Time every operation of the standard workload into one histogram
+/// (pushes and pops pooled; empty pops count — an empty-stack probe is an
+/// operation the caller waited for).
+template <RelaxedStack Stack>
+LatencyResult run_latency(Stack& stack, const Workload& w) {
+  const unsigned threads = std::max(1u, w.threads);
+  std::atomic<bool> stop{false};
+  std::vector<Histogram> histograms(threads);
+  std::vector<LabelSequence> labels;
+  labels.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) labels.emplace_back(t);
+
+  detail::drive(
+      w, stop,
+      [&](unsigned t) {
+        const std::uint64_t share = detail::prefill_share(w, t);
+        for (std::uint64_t i = 0; i < share; ++i) stack.push(labels[t]());
+      },
+      [&](unsigned t) {
+        const auto begin = std::chrono::steady_clock::now();
+        if (choose_push(w.push_ratio)) {
+          stack.push(labels[t]());
+        } else {
+          stack.pop();
+        }
+        const auto end = std::chrono::steady_clock::now();
+        histograms[t].add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                .count()));
+      });
+
+  LatencyResult result;
+  for (const Histogram& h : histograms) result.histogram.merge(h);
+  return result;
+}
+
+}  // namespace r2d::harness

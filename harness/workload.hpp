@@ -1,0 +1,24 @@
+// Workload: the shape of one measured run.
+//
+// Field defaults come from R2D_* environment knobs where one exists (see
+// the README catalogue); benches override the rest per figure.
+#pragma once
+
+#include <cstdint>
+
+#include "util/env.hpp"
+
+namespace r2d::harness {
+
+struct Workload {
+  unsigned threads = 1;
+  std::uint64_t duration_ms = 100;
+  std::uint64_t prefill = 0;        ///< items pushed before the clock starts
+  double push_ratio = 0.5;          ///< P(operation is a push)
+  bool pin_threads = util::env_u64("R2D_PIN", 0) != 0;
+  /// Per-thread event cap for the quality oracle (bounds its memory); the
+  /// quality run ends early when any thread fills its log.
+  std::uint64_t quality_events = util::env_u64("R2D_QUALITY_EVENTS", 1u << 17);
+};
+
+}  // namespace r2d::harness

@@ -1,0 +1,148 @@
+// EpochReclaimer: three-epoch epoch-based reclamation (EBR).
+//
+// The default policy for every r2d container. Each operation announces the
+// global epoch on entry (one store + fence) and goes idle on exit (one
+// store); retired nodes land in the announcing thread's bucket for that
+// epoch and are freed once the global epoch has advanced twice past it —
+// at which point no thread can still hold a reference (the epoch-(e)
+// bucket is freed when the global epoch reaches e+2; every critical
+// section from epochs <= e has exited by then and later sections started
+// after the nodes were unlinked).
+//
+// Policy contract: see reclaim/leaky.hpp. Bounded garbage: at most the
+// nodes retired across three epochs per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reclaim/slot_registry.hpp"
+
+namespace r2d::reclaim {
+
+class EpochReclaimer {
+  static constexpr std::size_t kMaxSlots = 256;
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr std::uint64_t kAdvanceEvery = 64;
+
+  struct Retired {
+    void* node;
+    void (*destroy)(void*);
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> owner{0};
+    std::atomic<std::uint64_t> epoch{kIdle};
+    // Owned exclusively by the claiming thread:
+    std::vector<Retired> bucket[3];
+    std::uint64_t bucket_epoch[3] = {0, 0, 0};
+    std::uint64_t retires_since_advance = 0;
+  };
+
+ public:
+  static constexpr unsigned kMaxProtected = 4;
+
+  EpochReclaimer() = default;
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  ~EpochReclaimer() {
+    // Single-threaded by contract (all guards gone): drain everything.
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& bucket : slots_[i].bucket) {
+        for (const Retired& r : bucket) r.destroy(r.node);
+        bucket.clear();
+      }
+    }
+  }
+
+  class Guard {
+   public:
+    Guard(EpochReclaimer* r, Slot* s) : r_(r), s_(s) {}
+    Guard(Guard&& o) noexcept : r_(o.r_), s_(o.s_) { o.s_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+
+    ~Guard() {
+      if (s_ != nullptr) s_->epoch.store(kIdle, std::memory_order_release);
+    }
+
+    template <typename T>
+    T* protect(const std::atomic<T*>& src, unsigned /*slot*/ = 0) {
+      // The announcement in pin() already protects every load in this
+      // critical section.
+      return src.load(std::memory_order_acquire);
+    }
+
+    template <typename T>
+    void retire(T* node) {
+      r_->retire_at(s_, node,
+                    [](void* p) { delete static_cast<T*>(p); });
+    }
+
+   private:
+    EpochReclaimer* r_;
+    Slot* s_;
+  };
+
+  Guard pin() {
+    Slot* s = local_slot();
+    const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    s->epoch.store(e, std::memory_order_relaxed);
+    // Order the announcement before any pointer load in the critical
+    // section (store-load barrier).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return Guard(this, s);
+  }
+
+ private:
+  void retire_at(Slot* s, void* node, void (*destroy)(void*)) {
+    const std::uint64_t e = s->epoch.load(std::memory_order_relaxed);
+    auto& bucket = s->bucket[e % 3];
+    if (s->bucket_epoch[e % 3] != e) {
+      // Bucket holds nodes from epoch e-3 or older; the global epoch has
+      // since reached at least e >= old+3 > old+2, so they are safe.
+      for (const Retired& r : bucket) r.destroy(r.node);
+      bucket.clear();
+      s->bucket_epoch[e % 3] = e;
+    }
+    bucket.push_back(Retired{node, destroy});
+    if (++s->retires_since_advance >= kAdvanceEvery) {
+      s->retires_since_advance = 0;
+      try_advance();
+    }
+  }
+
+  void try_advance() {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t se = slots_[i].epoch.load(std::memory_order_acquire);
+      if (se != kIdle && se != e) return;  // straggler in an older epoch
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_acq_rel);
+  }
+
+  Slot* local_slot() {
+    thread_local detail::SlotCache<Slot> cache;
+    Slot* s = cache.lookup(id_);
+    if (s == nullptr) {
+      s = detail::claim_slot(slots_.get(), kMaxSlots, hwm_);
+      cache.insert(id_, s);
+    }
+    return s;
+  }
+
+  const std::uint64_t id_ = detail::next_instance_id();
+  std::atomic<std::uint64_t> global_epoch_{0};
+  std::atomic<std::size_t> hwm_{0};
+  std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};
+};
+
+}  // namespace r2d::reclaim

@@ -1,0 +1,134 @@
+// HazardReclaimer: classic hazard pointers (Michael 2004).
+//
+// protect() publishes the pointer with a sequentially-consistent store and
+// re-validates the source — the per-dereference cost the E7 ablation
+// measures against EBR's per-operation cost. retire() batches nodes per
+// thread; once a batch reaches kScanThreshold the thread scans all
+// published hazards and frees every non-hazardous node.
+//
+// Policy contract: see reclaim/leaky.hpp. Bounded garbage: at most
+// kScanThreshold + (#threads * kMaxProtected) nodes per thread.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reclaim/slot_registry.hpp"
+
+namespace r2d::reclaim {
+
+class HazardReclaimer {
+  static constexpr std::size_t kMaxSlots = 256;
+  static constexpr std::size_t kScanThreshold = 128;
+
+  struct Retired {
+    void* node;
+    void (*destroy)(void*);
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> owner{0};
+    std::atomic<void*> hazard[4] = {};
+    // Owned exclusively by the claiming thread:
+    std::vector<Retired> retired;
+  };
+
+ public:
+  static constexpr unsigned kMaxProtected = 4;
+
+  HazardReclaimer() = default;
+  HazardReclaimer(const HazardReclaimer&) = delete;
+  HazardReclaimer& operator=(const HazardReclaimer&) = delete;
+
+  ~HazardReclaimer() {
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Retired& r : slots_[i].retired) r.destroy(r.node);
+      slots_[i].retired.clear();
+    }
+  }
+
+  class Guard {
+   public:
+    Guard(HazardReclaimer* r, Slot* s) : r_(r), s_(s) {}
+    Guard(Guard&& o) noexcept : r_(o.r_), s_(o.s_) { o.s_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+
+    ~Guard() {
+      if (s_ == nullptr) return;
+      for (auto& h : s_->hazard) h.store(nullptr, std::memory_order_release);
+    }
+
+    template <typename T>
+    T* protect(const std::atomic<T*>& src, unsigned slot = 0) {
+      T* p = src.load(std::memory_order_acquire);
+      while (true) {
+        s_->hazard[slot].store(p, std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_acquire);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    template <typename T>
+    void retire(T* node) {
+      r_->retire_at(s_, node,
+                    [](void* p) { delete static_cast<T*>(p); });
+    }
+
+   private:
+    HazardReclaimer* r_;
+    Slot* s_;
+  };
+
+  Guard pin() { return Guard(this, local_slot()); }
+
+ private:
+  void retire_at(Slot* s, void* node, void (*destroy)(void*)) {
+    s->retired.push_back(Retired{node, destroy});
+    if (s->retired.size() >= kScanThreshold) scan(s);
+  }
+
+  void scan(Slot* s) {
+    std::vector<void*> hazards;
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    hazards.reserve(n * kMaxProtected);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& h : slots_[i].hazard) {
+        void* p = h.load(std::memory_order_seq_cst);
+        if (p != nullptr) hazards.push_back(p);
+      }
+    }
+    std::sort(hazards.begin(), hazards.end());
+    std::vector<Retired> keep;
+    for (const Retired& r : s->retired) {
+      if (std::binary_search(hazards.begin(), hazards.end(), r.node)) {
+        keep.push_back(r);
+      } else {
+        r.destroy(r.node);
+      }
+    }
+    s->retired.swap(keep);
+  }
+
+  Slot* local_slot() {
+    thread_local detail::SlotCache<Slot> cache;
+    Slot* s = cache.lookup(id_);
+    if (s == nullptr) {
+      s = detail::claim_slot(slots_.get(), kMaxSlots, hwm_);
+      cache.insert(id_, s);
+    }
+    return s;
+  }
+
+  const std::uint64_t id_ = detail::next_instance_id();
+  std::atomic<std::size_t> hwm_{0};
+  std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};
+};
+
+}  // namespace r2d::reclaim

@@ -1,0 +1,50 @@
+// LeakyReclaimer: the null memory-reclamation policy.
+//
+// Reclaimer policy contract (see DESIGN.md §5): a container owns one
+// reclaimer instance and brackets every operation with
+//
+//   auto g = reclaimer.pin();          // enter critical section (RAII)
+//   T* p = g.protect(head, slot);      // hazard-safe load of atomic<T*>
+//   g.retire(p);                       // defer delete of an unlinked node
+//
+// `protect` may be called for up to kMaxProtected distinct slots per guard;
+// `retire` must be called at most once per node, only after the node is
+// unreachable from the structure. Guards must not outlive the reclaimer and
+// must not nest per thread on the same instance (one pin per operation).
+// Capacity: the epoch/hazard policies bind each thread to a per-instance
+// slot that is never released, so at most 256 distinct threads may ever
+// touch one reclaimer instance over its lifetime (exceeding it aborts
+// loudly); safe slot reclamation for long-lived containers with unbounded
+// thread churn is a ROADMAP item.
+//
+// The leaky policy performs no reclamation at all: protect is a plain
+// acquire load and retire drops the node on the floor. It is the zero-cost
+// baseline the E7 ablation measures the real schemes against, and is only
+// safe because bench processes are short-lived.
+#pragma once
+
+#include <atomic>
+
+namespace r2d::reclaim {
+
+class LeakyReclaimer {
+ public:
+  static constexpr unsigned kMaxProtected = 4;
+
+  class Guard {
+   public:
+    template <typename T>
+    T* protect(const std::atomic<T*>& src, unsigned /*slot*/ = 0) {
+      return src.load(std::memory_order_acquire);
+    }
+
+    template <typename T>
+    void retire(T* /*node*/) {
+      // Intentionally leaked.
+    }
+  };
+
+  Guard pin() { return Guard{}; }
+};
+
+}  // namespace r2d::reclaim

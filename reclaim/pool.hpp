@@ -1,0 +1,118 @@
+// Pool: a lock-free, sharded free list of fixed-size nodes.
+//
+// acquire() constructs a T in a recycled block (or a fresh heap block when
+// the shard is dry); release() destroys it and pushes the block back. The
+// E10 ablation compares this against raw new/delete — node recycling is
+// what the paper's evaluation (and most lock-free stack evaluations) use.
+//
+// ABA on the free lists is defended with a 16-bit tag packed into the top
+// bits of the head word (x86-64 user pointers fit in 48 bits); shards cut
+// contention by hashing threads onto independent lists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace r2d::reclaim {
+
+template <typename T>
+class Pool {
+  static_assert(sizeof(void*) == 8,
+                "Pool packs a 16-bit ABA tag above 48-bit pointers");
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr std::size_t kBlockSize =
+      sizeof(T) > sizeof(FreeNode) ? sizeof(T) : sizeof(FreeNode);
+  static constexpr std::size_t kBlockAlign =
+      alignof(T) > alignof(FreeNode) ? alignof(T) : alignof(FreeNode);
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << 48) - 1;
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  static FreeNode* unpack(std::uint64_t v) {
+    return reinterpret_cast<FreeNode*>(v & kPtrMask);
+  }
+  static std::uint64_t pack(FreeNode* p, std::uint64_t tag) {
+    return (reinterpret_cast<std::uint64_t>(p) & kPtrMask) | (tag << 48);
+  }
+
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    for (Shard& shard : shards_) {
+      FreeNode* node = unpack(shard.head.load(std::memory_order_acquire));
+      while (node != nullptr) {
+        FreeNode* next = node->next;
+        ::operator delete(node, std::align_val_t{kBlockAlign});
+        node = next;
+      }
+    }
+  }
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    void* block = pop_block(local_shard());
+    if (block == nullptr) {
+      block = ::operator new(kBlockSize, std::align_val_t{kBlockAlign});
+    }
+    return ::new (block) T{std::forward<Args>(args)...};
+  }
+
+  void release(T* obj) {
+    obj->~T();
+    push_block(local_shard(), obj);
+  }
+
+ private:
+  Shard& local_shard() {
+    static std::atomic<std::uint64_t> counter{0};
+    thread_local std::uint64_t idx =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    return shards_[idx % kShards];
+  }
+
+  void* pop_block(Shard& shard) {
+    std::uint64_t head = shard.head.load(std::memory_order_acquire);
+    while (true) {
+      FreeNode* node = unpack(head);
+      if (node == nullptr) return nullptr;
+      // The tag makes a recycled-and-repushed node compare unequal, so the
+      // dereference of node->next below cannot be stitched onto the wrong
+      // successor.
+      const std::uint64_t next = pack(node->next, (head >> 48) + 1);
+      if (shard.head.compare_exchange_weak(head, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        return node;
+      }
+    }
+  }
+
+  void push_block(Shard& shard, void* block) {
+    auto* node = ::new (block) FreeNode{nullptr};
+    std::uint64_t head = shard.head.load(std::memory_order_relaxed);
+    while (true) {
+      node->next = unpack(head);
+      const std::uint64_t packed = pack(node, (head >> 48) + 1);
+      if (shard.head.compare_exchange_weak(head, packed,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace r2d::reclaim

@@ -1,0 +1,88 @@
+// Per-thread slot assignment shared by the epoch and hazard reclaimers.
+//
+// Each reclaimer instance owns a fixed array of cache-line-sized slots; a
+// thread claims one slot per instance on first use and caches the mapping
+// in a small thread-local ring keyed by a process-unique instance id (so a
+// destroyed instance's cache entry can never be mistaken for a live one,
+// even if the allocator reuses the address).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace r2d::reclaim::detail {
+
+inline std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline std::uint64_t thread_token() {
+  static std::atomic<std::uint64_t> counter{1};
+  thread_local std::uint64_t token =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+/// Claim-or-reuse a slot in `slots[0..max_slots)` for the calling thread.
+/// `Slot` must expose `std::atomic<std::uint64_t> owner` (0 = free).
+/// `hwm` tracks the number of slots ever claimed so scans stay short.
+template <typename Slot>
+Slot* claim_slot(Slot* slots, std::size_t max_slots,
+                 std::atomic<std::size_t>& hwm) {
+  const std::uint64_t token = thread_token();
+  const std::size_t seen = hwm.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < seen; ++i) {
+    if (slots[i].owner.load(std::memory_order_relaxed) == token) {
+      return &slots[i];
+    }
+  }
+  for (std::size_t i = 0; i < max_slots; ++i) {
+    std::uint64_t expected = 0;
+    if (slots[i].owner.load(std::memory_order_relaxed) == 0 &&
+        slots[i].owner.compare_exchange_strong(expected, token,
+                                               std::memory_order_acq_rel)) {
+      std::size_t cur = hwm.load(std::memory_order_relaxed);
+      while (cur < i + 1 &&
+             !hwm.compare_exchange_weak(cur, i + 1,
+                                        std::memory_order_acq_rel)) {
+      }
+      return &slots[i];
+    }
+  }
+  std::fprintf(stderr,
+               "r2d::reclaim: out of reclaimer slots (%zu); raise kMaxSlots\n",
+               max_slots);
+  std::abort();
+}
+
+/// Thread-local (instance id -> slot) cache. Small ring with LRU-ish
+/// eviction; a miss falls back to claim_slot (which reuses the thread's
+/// already-claimed slot if it has one).
+template <typename Slot, unsigned kWays = 8>
+class SlotCache {
+ public:
+  Slot* lookup(std::uint64_t instance_id) {
+    for (unsigned i = 0; i < kWays; ++i) {
+      if (entries_[i].id == instance_id) return entries_[i].slot;
+    }
+    return nullptr;
+  }
+
+  void insert(std::uint64_t instance_id, Slot* slot) {
+    entries_[next_] = Entry{instance_id, slot};
+    next_ = (next_ + 1) % kWays;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    Slot* slot = nullptr;
+  };
+  Entry entries_[kWays];
+  unsigned next_ = 0;
+};
+
+}  // namespace r2d::reclaim::detail

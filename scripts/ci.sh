@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a fast smoke bench.
+#
+# Usage: scripts/ci.sh [build-dir]
+#   R2D_SANITIZER=asan|tsan  configure the sanitizer toggle
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SANITIZER="${R2D_SANITIZER:-}"
+
+cmake -B "$BUILD_DIR" -S . -DR2D_SANITIZER="$SANITIZER"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Smoke one figure bench end to end with tiny settings: catches crashes and
+# hangs in the measured loops that unit tests cannot.
+echo "=== smoke: fig1_relaxation_sweep ==="
+R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 \
+  "$BUILD_DIR/fig1_relaxation_sweep"
+echo "=== smoke: fig2_thread_sweep ==="
+R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
+  "$BUILD_DIR/fig2_thread_sweep"
+
+echo "ci.sh: all green"

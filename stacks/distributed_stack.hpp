@@ -1,0 +1,238 @@
+// Distributed (unbounded-relaxation) stack designs: a width-array of
+// Treiber columns with three placement policies.
+//
+//   RandomStack    — uniform random column per operation
+//   RandomC2Stack  — power-of-two-choices on the column counts
+//   KRobinStack    — per-thread round-robin over the columns
+//
+// None of these maintain a window, so their rank error is unbounded in
+// theory (bounded in practice by balance); they are the paper's
+// load-balancing comparison points for Figure 2.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/substack.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace r2d::stacks {
+
+namespace detail {
+
+/// Shared column-array machinery: storage, single-column push/pop
+/// attempts, and the pop fallback scan that distinguishes "my column is
+/// empty" from "the stack is empty".
+template <typename T, typename Reclaimer>
+class ColumnArrayStack {
+  protected:
+  using Node = core::StackNode<T>;
+  using Column = core::StackColumn<T>;
+  using Guard = decltype(std::declval<Reclaimer&>().pin());
+
+  explicit ColumnArrayStack(std::size_t width)
+      : width_(std::max<std::size_t>(1, width)),
+        columns_(new Column[width_]) {}
+
+  ~ColumnArrayStack() {
+    for (std::size_t i = 0; i < width_; ++i) core::drain_column(columns_[i]);
+  }
+
+  /// One CAS attempt; on success the node is linked.
+  bool try_push_at(Guard& guard, std::size_t index, Node* node) {
+    Column& column = columns_[index];
+    Node* head = guard.protect(column.head);
+    node->next = head;
+    node->count = core::column_count(head) + 1;
+    return column.head.compare_exchange_strong(head, node,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed);
+  }
+
+  /// One CAS attempt; nullopt when the column was empty or contended
+  /// (`was_empty` tells which).
+  std::optional<T> try_pop_at(Guard& guard, std::size_t index,
+                              bool& was_empty) {
+    Column& column = columns_[index];
+    Node* head = guard.protect(column.head);
+    was_empty = head == nullptr;
+    if (head == nullptr) return std::nullopt;
+    if (column.head.compare_exchange_strong(head, head->next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      T value = std::move(head->value);
+      guard.retire(head);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t count_at(Guard& guard, std::size_t index) {
+    return core::column_count(guard.protect(columns_[index].head));
+  }
+
+  /// Sweep every column once; returns nullopt only after observing all of
+  /// them empty in one contention-free pass.
+  std::optional<T> pop_scan(Guard& guard) {
+    while (true) {
+      std::size_t empties = 0;
+      for (std::size_t i = 0; i < width_; ++i) {
+        bool was_empty = false;
+        if (auto v = try_pop_at(guard, i, was_empty)) return v;
+        if (was_empty) ++empties;
+      }
+      if (empties == width_) return std::nullopt;
+    }
+  }
+
+ public:
+  bool empty() const {
+    for (std::size_t i = 0; i < width_; ++i) {
+      if (columns_[i].head.load(std::memory_order_acquire) != nullptr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::uint64_t approx_size() {
+    auto guard = reclaimer_.pin();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < width_; ++i) total += count_at(guard, i);
+    return total;
+  }
+
+ protected:
+  std::size_t width_;
+  std::unique_ptr<Column[]> columns_;
+  Reclaimer reclaimer_;
+};
+
+}  // namespace detail
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class RandomStack : public detail::ColumnArrayStack<T, Reclaimer> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+  using Node = typename Base::Node;
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  explicit RandomStack(std::size_t width) : Base(width) {}
+
+  void push(T value) {
+    auto guard = this->reclaimer_.pin();
+    Node* node = new Node{nullptr, 0, std::move(value)};
+    while (!this->try_push_at(guard, this->random_index(), node)) {
+    }
+  }
+
+  std::optional<T> pop() {
+    auto guard = this->reclaimer_.pin();
+    // A few random probes, then the certified scan.
+    for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      bool was_empty = false;
+      if (auto v = this->try_pop_at(guard, this->random_index(), was_empty)) {
+        return v;
+      }
+    }
+    return this->pop_scan(guard);
+  }
+
+ private:
+  std::size_t random_index() const {
+    return static_cast<std::size_t>(core::hop_rand()) % this->width_;
+  }
+};
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+  using Node = typename Base::Node;
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  explicit RandomC2Stack(std::size_t width) : Base(width) {}
+
+  void push(T value) {
+    auto guard = this->reclaimer_.pin();
+    Node* node = new Node{nullptr, 0, std::move(value)};
+    while (true) {
+      const auto [a, b] = sample_two();
+      // Push to the shorter column: keeps the columns balanced, which is
+      // what bounds the observed rank error.
+      const std::size_t target =
+          this->count_at(guard, a) <= this->count_at(guard, b) ? a : b;
+      if (this->try_push_at(guard, target, node)) return;
+    }
+  }
+
+  std::optional<T> pop() {
+    auto guard = this->reclaimer_.pin();
+    for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      const auto [a, b] = sample_two();
+      // Pop from the taller column: its top is the more recent push.
+      const std::size_t target =
+          this->count_at(guard, a) >= this->count_at(guard, b) ? a : b;
+      bool was_empty = false;
+      if (auto v = this->try_pop_at(guard, target, was_empty)) return v;
+    }
+    return this->pop_scan(guard);
+  }
+
+ private:
+  std::pair<std::size_t, std::size_t> sample_two() const {
+    const std::uint64_t r = core::hop_rand();
+    return {static_cast<std::size_t>(r >> 32) % this->width_,
+            static_cast<std::size_t>(r & 0xffffffffu) % this->width_};
+  }
+};
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+  using Node = typename Base::Node;
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  explicit KRobinStack(std::size_t width) : Base(width) {}
+
+  void push(T value) {
+    auto guard = this->reclaimer_.pin();
+    Node* node = new Node{nullptr, 0, std::move(value)};
+    std::size_t index = next_index();
+    while (!this->try_push_at(guard, index, node)) {
+      index = next_index();
+    }
+  }
+
+  std::optional<T> pop() {
+    auto guard = this->reclaimer_.pin();
+    for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      bool was_empty = false;
+      if (auto v = this->try_pop_at(guard, next_index(), was_empty)) {
+        return v;
+      }
+    }
+    return this->pop_scan(guard);
+  }
+
+ private:
+  /// Per-thread rotation: consecutive operations by one thread visit
+  /// consecutive columns, the paper's "round robin" placement.
+  std::size_t next_index() {
+    thread_local std::uint64_t cursor = core::hop_rand();
+    return static_cast<std::size_t>(cursor++) % this->width_;
+  }
+};
+
+}  // namespace r2d::stacks

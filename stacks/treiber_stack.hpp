@@ -1,0 +1,76 @@
+// TreiberStack: the strict lock-free baseline (Treiber 1986).
+//
+// A single count-carrying column (core/substack.hpp) behind the pluggable
+// reclamation policy. This is the stack every figure compares against and
+// the sub-structure the distributed designs shard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/substack.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace r2d::stacks {
+
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+class TreiberStack {
+  using Node = core::StackNode<T>;
+
+ public:
+  using value_type = T;
+  using reclaimer_type = Reclaimer;
+
+  TreiberStack() = default;
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+  ~TreiberStack() { core::drain_column(column_); }
+
+  void push(T value) {
+    auto guard = reclaimer_.pin();
+    Node* node = new Node{nullptr, 0, std::move(value)};
+    while (true) {
+      Node* head = guard.protect(column_.head);
+      node->next = head;
+      node->count = core::column_count(head) + 1;
+      if (column_.head.compare_exchange_weak(head, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  std::optional<T> pop() {
+    auto guard = reclaimer_.pin();
+    while (true) {
+      Node* head = guard.protect(column_.head);
+      if (head == nullptr) return std::nullopt;
+      Node* next = head->next;
+      if (column_.head.compare_exchange_weak(head, next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        T value = std::move(head->value);
+        guard.retire(head);
+        return value;
+      }
+    }
+  }
+
+  bool empty() const {
+    return column_.head.load(std::memory_order_acquire) == nullptr;
+  }
+
+  std::uint64_t approx_size() {
+    auto guard = reclaimer_.pin();
+    return core::column_count(guard.protect(column_.head));
+  }
+
+ private:
+  core::StackColumn<T> column_;
+  Reclaimer reclaimer_;
+};
+
+}  // namespace r2d::stacks

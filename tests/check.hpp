@@ -1,0 +1,42 @@
+// Minimal assertion macros for the tier-1 tests (no framework dependency).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace r2d::test {
+inline int& failures() {
+  static int count = 0;
+  return count;
+}
+}  // namespace r2d::test
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      ++r2d::test::failures();                                             \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                 \
+  do {                                                                 \
+    const auto va = (a);                                               \
+    const auto vb = (b);                                               \
+    if (!(va == vb)) {                                                 \
+      std::ostringstream oss;                                          \
+      oss << va << " vs " << vb;                                       \
+      std::fprintf(stderr, "FAIL %s:%d: %s == %s (%s)\n", __FILE__,    \
+                   __LINE__, #a, #b, oss.str().c_str());               \
+      ++r2d::test::failures();                                         \
+    }                                                                  \
+  } while (0)
+
+#define TEST_MAIN_RESULT()                                          \
+  (r2d::test::failures() == 0                                       \
+       ? (std::puts("OK"), 0)                                       \
+       : (std::fprintf(stderr, "%d check(s) failed\n",              \
+                       r2d::test::failures()),                      \
+          1))

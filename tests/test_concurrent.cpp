@@ -1,0 +1,128 @@
+// Concurrent smoke: N threads hammer each structure; afterwards the
+// multiset of popped + drained labels must equal the multiset pushed — no
+// lost, duplicated, or invented labels.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/two_d_queue.hpp"
+#include "core/two_d_stack.hpp"
+#include "reclaim/hazard.hpp"
+#include "stacks/distributed_stack.hpp"
+#include "stacks/elimination_stack.hpp"
+#include "stacks/ksegment_stack.hpp"
+#include "stacks/treiber_stack.hpp"
+#include "check.hpp"
+
+namespace {
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint64_t kPerThread = 20000;
+
+template <typename PushFn, typename PopFn>
+void hammer(const char* name, PushFn push, PopFn pop) {
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<unsigned> ready{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      std::uint64_t label = (static_cast<std::uint64_t>(t) << 32) + 1;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        push(label++);
+        // Pop roughly every other op so the structure stays populated but
+        // every thread exercises both paths under contention.
+        if (i % 2 == 1) {
+          if (const auto v = pop()) popped[t].push_back(*v);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<std::uint64_t> seen;
+  for (const auto& p : popped) seen.insert(seen.end(), p.begin(), p.end());
+  while (const auto v = pop()) seen.push_back(*v);  // drain the rest
+
+  CHECK_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::sort(seen.begin(), seen.end());
+  CHECK(std::adjacent_find(seen.begin(), seen.end()) == seen.end());  // dups
+  std::vector<std::uint64_t> expected;
+  expected.reserve(seen.size());
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+      expected.push_back((static_cast<std::uint64_t>(t) << 32) + i);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  if (seen != expected) {
+    std::fprintf(stderr, "FAIL: %s lost or invented labels\n", name);
+    ++r2d::test::failures();
+  }
+}
+
+template <typename Stack>
+void hammer_stack(const char* name, Stack& stack) {
+  hammer(
+      name, [&](std::uint64_t v) { stack.push(v); },
+      [&] { return stack.pop(); });
+}
+
+}  // namespace
+
+int main() {
+  {
+    r2d::stacks::TreiberStack<std::uint64_t> stack;
+    hammer_stack("treiber/epoch", stack);
+  }
+  {
+    r2d::stacks::TreiberStack<std::uint64_t, r2d::reclaim::HazardReclaimer>
+        stack;
+    hammer_stack("treiber/hazard", stack);
+  }
+  {
+    r2d::TwoDStack<std::uint64_t> stack(
+        r2d::core::TwoDParams::for_k(256, kThreads));
+    hammer_stack("2d-stack/epoch", stack);
+  }
+  {
+    r2d::TwoDStack<std::uint64_t, r2d::reclaim::HazardReclaimer> stack(
+        r2d::core::TwoDParams::for_k(256, kThreads));
+    hammer_stack("2d-stack/hazard", stack);
+  }
+  {
+    // k = 0: strict even under contention.
+    r2d::TwoDStack<std::uint64_t> stack(
+        r2d::core::TwoDParams::for_k(0, kThreads));
+    hammer_stack("2d-stack/k0", stack);
+  }
+  {
+    r2d::stacks::EliminationStack<std::uint64_t> stack(
+        r2d::stacks::EliminationParams{8, 128, 1});
+    hammer_stack("elimination", stack);
+  }
+  {
+    r2d::stacks::KSegmentStack<std::uint64_t> stack(16);
+    hammer_stack("k-segment", stack);
+  }
+  {
+    r2d::stacks::RandomC2Stack<std::uint64_t> stack(8);
+    hammer_stack("random-c2", stack);
+  }
+  {
+    r2d::core::TwoDParams p;
+    p.width = 2 * kThreads;
+    p.depth = 8;
+    p.shift = 4;
+    r2d::TwoDQueue<std::uint64_t> queue(p);
+    hammer(
+        "2d-queue", [&](std::uint64_t v) { queue.enqueue(v); },
+        [&] { return queue.dequeue(); });
+  }
+  return TEST_MAIN_RESULT();
+}

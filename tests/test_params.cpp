@@ -1,0 +1,66 @@
+// TwoDParams::for_k mapping invariants (DESIGN.md §4).
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/params.hpp"
+#include "check.hpp"
+
+using r2d::core::TwoDParams;
+
+int main() {
+  // k = 0 is the strict degenerate shape.
+  for (unsigned threads : {1u, 2u, 8u, 16u}) {
+    const TwoDParams p = TwoDParams::for_k(0, threads);
+    CHECK_EQ(p.width, std::size_t{1});
+    CHECK_EQ(p.k_bound(), std::uint64_t{0});
+    p.validate();
+  }
+
+  // The bound never exceeds the request, shapes are always valid, width
+  // respects the 4P ceiling, and the bound is monotone in k.
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    std::uint64_t prev_bound = 0;
+    std::size_t prev_width = 0;
+    std::uint64_t prev_depth = 0;
+    for (std::uint64_t k = 0; k < 100000; k = k * 3 + 1) {
+      const TwoDParams p = TwoDParams::for_k(k, threads);
+      p.validate();
+      CHECK(p.k_bound() <= k);
+      CHECK(p.width <= TwoDParams::max_width_for(threads));
+      CHECK(p.shift >= 1 && p.shift <= p.depth);
+      CHECK(p.k_bound() >= prev_bound);
+      CHECK(p.width >= prev_width);
+      CHECK(p.depth >= prev_depth);
+      prev_bound = p.k_bound();
+      prev_width = p.width;
+      prev_depth = p.depth;
+    }
+  }
+
+  // The Figure-2 budget k = 32*(4P-1) must land on the paper's
+  // high-throughput shape: width 4P, depth 16, shift 8.
+  for (unsigned threads : {1u, 2u, 8u, 16u}) {
+    const std::uint64_t k = 32ull * (4ull * threads - 1);
+    const TwoDParams p = TwoDParams::for_k(k, threads);
+    CHECK_EQ(p.width, std::size_t{4} * threads);
+    CHECK_EQ(p.depth, std::uint64_t{16});
+    CHECK_EQ(p.shift, std::uint64_t{8});
+    CHECK_EQ(p.k_bound(), k);
+  }
+
+  // validate() rejects malformed shapes.
+  for (const TwoDParams bad : {TwoDParams{0, 1, 1},    // zero width
+                               TwoDParams{1, 0, 1},    // zero depth
+                               TwoDParams{1, 4, 0},    // zero shift
+                               TwoDParams{1, 4, 5}}) { // shift > depth
+    bool threw = false;
+    try {
+      bad.validate();
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,75 @@
+// util/ layer: env parsing, summary statistics, tables, histograms.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/latency.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "check.hpp"
+
+int main() {
+  {
+    setenv("R2D_TEST_U64", "1234", 1);
+    setenv("R2D_TEST_HEX", "0x10", 1);
+    setenv("R2D_TEST_BAD", "12abc", 1);
+    setenv("R2D_TEST_STR", "hello", 1);
+    CHECK_EQ(r2d::util::env_u64("R2D_TEST_U64", 7), std::uint64_t{1234});
+    CHECK_EQ(r2d::util::env_u64("R2D_TEST_HEX", 7), std::uint64_t{16});
+    CHECK_EQ(r2d::util::env_u64("R2D_TEST_BAD", 7), std::uint64_t{7});
+    setenv("R2D_TEST_NEG", "-1", 1);
+    CHECK_EQ(r2d::util::env_u64("R2D_TEST_NEG", 7), std::uint64_t{7});
+    CHECK_EQ(r2d::util::env_u64("R2D_TEST_UNSET", 7), std::uint64_t{7});
+    CHECK_EQ(r2d::util::env_str("R2D_TEST_STR", "x"), std::string("hello"));
+    CHECK_EQ(r2d::util::env_str("R2D_TEST_UNSET", "x"), std::string("x"));
+  }
+  {
+    const auto s = r2d::util::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                         9.0});
+    CHECK_EQ(s.mean, 5.0);
+    CHECK_EQ(s.min, 2.0);
+    CHECK_EQ(s.max, 9.0);
+    CHECK(s.stddev > 2.13 && s.stddev < 2.14);  // sample stddev ~2.1381
+    CHECK_EQ(r2d::util::summarize({}).n, std::size_t{0});
+    CHECK_EQ(r2d::util::summarize({3.0}).stddev, 0.0);
+  }
+  {
+    r2d::util::Table table({"a", "b"});
+    table.add_row({"1", "x,y"});
+    table.add_row({"2"});  // short rows pad
+    std::ostringstream out;
+    table.print(out);
+    CHECK(out.str().find("a") != std::string::npos);
+    CHECK_EQ(r2d::util::Table::num(1.23456), std::string("1.235"));
+    CHECK_EQ(r2d::util::Table::num(1.5, 0), std::string("2"));
+
+    const char* path = "r2d_test_table.csv";
+    CHECK(table.write_csv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    CHECK_EQ(line, std::string("a,b"));
+    std::getline(in, line);
+    CHECK_EQ(line, std::string("1,\"x,y\""));
+    in.close();
+    std::remove(path);
+  }
+  {
+    r2d::harness::Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+    CHECK_EQ(h.count(), std::uint64_t{1000});
+    CHECK_EQ(h.max(), std::uint64_t{1000});
+    const double p50 = h.quantile(0.5);
+    CHECK(p50 >= 450 && p50 <= 550);  // bucket resolution ~6%
+    const double p999 = h.quantile(0.999);
+    CHECK(p999 >= 900 && p999 <= 1000);
+    r2d::harness::Histogram other;
+    other.add(1u << 20);
+    h.merge(other);
+    CHECK_EQ(h.count(), std::uint64_t{1001});
+    CHECK_EQ(h.max(), std::uint64_t{1} << 20);
+  }
+  return TEST_MAIN_RESULT();
+}

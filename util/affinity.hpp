@@ -1,0 +1,37 @@
+// Worker-thread CPU pinning.
+//
+// The paper's figures distinguish intra- vs inter-socket regimes, which only
+// reproduces with a stable thread->core mapping. Pinning is opt-in via
+// Workload::pin_threads (R2D_PIN=1) because oversubscribed CI boxes behave
+// worse pinned than free.
+#pragma once
+
+#include <algorithm>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#define R2D_HAS_AFFINITY 1
+#else
+#define R2D_HAS_AFFINITY 0
+#endif
+
+namespace r2d::util {
+
+/// Pin the calling thread to logical CPU `worker % hardware_concurrency`.
+/// Returns true on success; a no-op (false) on unsupported platforms.
+inline bool pin_worker(unsigned worker) {
+#if R2D_HAS_AFFINITY
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker % ncpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)worker;
+  return false;
+#endif
+}
+
+}  // namespace r2d::util

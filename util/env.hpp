@@ -1,0 +1,44 @@
+// Environment-variable configuration knobs (the R2D_* namespace).
+//
+// Every bench and the CI script configure themselves through these; see the
+// README's "Environment knobs" section for the full catalogue.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace r2d::util {
+
+/// Read an unsigned integer knob; returns `fallback` when unset or
+/// unparseable. Accepts decimal and 0x-prefixed hex; rejects negatives
+/// (which strtoull would otherwise wrap to huge magnitudes).
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const char* scan = raw;
+  while (*scan == ' ' || *scan == '\t') ++scan;
+  if (*scan == '-') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 0);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Read a string knob; returns `fallback` when unset.
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+/// Read a floating-point knob; returns `fallback` when unset or unparseable.
+inline double env_f64(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return v;
+}
+
+}  // namespace r2d::util

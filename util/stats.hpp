@@ -1,0 +1,36 @@
+// Small summary statistics for repeated measurements.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace r2d::util {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1), 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+inline Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double sq = 0.0;
+    for (const double x : xs) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace r2d::util
