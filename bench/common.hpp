@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/params.hpp"
@@ -20,6 +22,7 @@
 #include "stacks/distributed_stack.hpp"
 #include "stacks/elimination_stack.hpp"
 #include "stacks/ksegment_stack.hpp"
+#include "reclaim/membarrier.hpp"
 #include "stacks/treiber_stack.hpp"
 #include "util/env.hpp"
 #include "util/stats.hpp"
@@ -196,6 +199,53 @@ struct BenchEnv {
     return w;
   }
 };
+
+/// One structure's measured rate, for the machine-readable perf
+/// trajectory (BENCH_*.json).
+struct JsonPoint {
+  std::string structure;
+  unsigned threads = 1;
+  double mops = 0.0;
+};
+
+/// Write the bench points as JSON to `path`, with enough provenance to
+/// compare runs across commits and hosts: git sha (R2D_GIT_SHA, set by
+/// scripts/ci.sh), host core count, and the active epoch fence mode.
+/// Schema:
+///   {"bench": ..., "git_sha": ..., "host_cores": N, "membarrier": bool,
+///    "points": [{"structure": ..., "threads": N, "mops": X}, ...]}
+inline bool write_bench_json(const std::string& path, const std::string& bench,
+                             const std::vector<JsonPoint>& points) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"bench\": \"" << bench << "\",\n"
+      << "  \"git_sha\": \"" << util::env_str("R2D_GIT_SHA", "unknown")
+      << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"membarrier\": "
+      << (reclaim::detail::use_membarrier() ? "true" : "false") << ",\n"
+      << "  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"structure\": \""
+        << points[i].structure << "\", \"threads\": " << points[i].threads
+        << ", \"mops\": " << points[i].mops << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// Honor the R2D_BENCH_JSON knob: when set, write the points there.
+inline void emit_json(const std::string& bench,
+                      const std::vector<JsonPoint>& points) {
+  const std::string path = util::env_str("R2D_BENCH_JSON", "");
+  if (path.empty()) return;
+  if (write_bench_json(path, bench, points)) {
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cerr << "could not write " << path << "\n";
+  }
+}
 
 inline void emit(const util::Table& table, const BenchEnv& env,
                  const std::string& tag) {

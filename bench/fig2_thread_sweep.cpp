@@ -32,6 +32,7 @@ int main() {
 
   r2d::util::Table table({"threads", "algorithm", "mops", "stddev",
                           "mean_err", "max_err"});
+  std::vector<JsonPoint> json_points;
   std::cout << "=== Figure 2: thread sweep, 1.." << env.max_threads
             << " threads (duration " << env.duration_ms << " ms x "
             << env.repeats << " repeats) ===\n"
@@ -46,8 +47,10 @@ int main() {
                      r2d::util::Table::num(p.mops_stddev),
                      r2d::util::Table::num(p.mean_error),
                      r2d::util::Table::num(p.max_error, 0)});
+      json_points.push_back({algo, threads, p.mops});
     }
   }
   emit(table, env, "fig2");
+  emit_json("fig2_thread_sweep", json_points);
   return 0;
 }

@@ -1,12 +1,19 @@
 // E3: per-operation microbenchmarks (google-benchmark) for every stack.
 // Single-threaded push/pop cost isolates the constant factors (allocation,
-// 16-byte CAS, search) that the figure benches aggregate; the threaded
+// packed-head CAS, search) that the figure benches aggregate; the threaded
 // variants show per-op degradation under contention.
+//
+// When R2D_BENCH_JSON is set, the per-structure items/s rates are also
+// written as machine-readable JSON (see bench/common.hpp) — the perf
+// trajectory scripts/ci.sh records as BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "core/two_d_stack.hpp"
 #include "stacks/distributed_stack.hpp"
 #include "stacks/elimination_stack.hpp"
@@ -120,4 +127,38 @@ R2D_MICRO(RandC2)
 R2D_MICRO(KRobin)
 R2D_MICRO(TwoD)
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus a capture of every per-iteration run's
+/// items/s for the BENCH_micro.json trajectory.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      points_.push_back({run.benchmark_name(),
+                         static_cast<unsigned>(run.threads),
+                         it->second / 1e6});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<r2d::bench::JsonPoint>& points() const { return points_; }
+
+ private:
+  std::vector<r2d::bench::JsonPoint> points_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  r2d::bench::emit_json("micro_ops", reporter.points());
+  return 0;
+}

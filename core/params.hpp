@@ -16,7 +16,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/substack.hpp"  // kPackedCountMax: the column-count ceiling
+
 namespace r2d::core {
+
+/// Deepest window a shape may request: every count inside a full window
+/// must be exactly representable below the packed head word's saturation
+/// ceiling (see core/substack.hpp).
+inline constexpr std::uint64_t kMaxWindowDepth = kPackedCountMax - 1;
 
 /// How a thread moves between sub-stacks after an ineligible probe or a
 /// failed CAS inside the current window.
@@ -72,17 +79,28 @@ struct TwoDParams {
     }
     p.width = max_width;
     const std::uint64_t span = static_cast<std::uint64_t>(max_width) - 1;
-    // With shift = depth/2 (floored), k_bound <= 2*depth*span <= k.
-    p.depth = std::max<std::uint64_t>(1, k / (2 * span));
+    // With shift = depth/2 (floored), k_bound <= 2*depth*span <= k. The
+    // depth is clamped to the packed-count ceiling, so an outsized k maps
+    // to the deepest valid window rather than an invalid shape.
+    p.depth = std::min(kMaxWindowDepth,
+                       std::max<std::uint64_t>(1, k / (2 * span)));
     p.shift = std::max<std::uint64_t>(1, p.depth / 2);
     return p;
   }
 
   /// Throws std::invalid_argument when the shape violates the paper's
-  /// constraints (width >= 1, depth >= 1, 1 <= shift <= depth).
+  /// constraints (width >= 1, depth >= 1, 1 <= shift <= depth) or the
+  /// packed-head ceiling (depth <= kMaxWindowDepth, so no window can hold
+  /// more items than the 16-bit packed column count can represent).
   void validate() const {
     if (width < 1) throw std::invalid_argument("TwoDParams: width must be >= 1");
     if (depth < 1) throw std::invalid_argument("TwoDParams: depth must be >= 1");
+    if (depth > kMaxWindowDepth) {
+      throw std::invalid_argument(
+          "TwoDParams: depth must be <= " + std::to_string(kMaxWindowDepth) +
+          " (the packed column-count ceiling), got depth=" +
+          std::to_string(depth));
+    }
     if (shift < 1 || shift > depth) {
       throw std::invalid_argument(
           "TwoDParams: shift must be in [1, depth], got shift=" +

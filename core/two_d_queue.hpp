@@ -10,6 +10,12 @@
 // non-empty column whose dequeue count is below get_max.
 // With width = 1 every operation is always eligible and the structure is a
 // plain strict MS queue.
+//
+// Unlike the stack columns, the queue keeps its counts in the nodes rather
+// than packed into the head/tail words: they are cumulative enqueue /
+// dequeue serials (not occupancies), so they outgrow any fixed-width
+// packed field after 2^16 operations per column. Queue eligibility checks
+// therefore still dereference through the reclaimer.
 #pragma once
 
 #include <atomic>
@@ -19,8 +25,9 @@
 #include <utility>
 
 #include "core/params.hpp"
-#include "core/substack.hpp"  // hop_rand
+#include "core/substack.hpp"  // hop_rand, InstanceLocal
 #include "reclaim/epoch.hpp"
+#include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d {
 
@@ -283,15 +290,19 @@ class TwoDQueue {
     }
   }
 
+  // Per-(thread, instance) preferred columns, keyed by this instance's
+  // process-unique id so two queues of the same instantiation never
+  // pollute each other's fast path (see core::InstanceLocal).
   std::size_t& preferred_enq_index() {
-    thread_local std::size_t index = 0;
-    return index;
+    thread_local core::InstanceLocal<std::size_t> preferred;
+    return preferred.get(id_);
   }
   std::size_t& preferred_deq_index() {
-    thread_local std::size_t index = 0;
-    return index;
+    thread_local core::InstanceLocal<std::size_t> preferred;
+    return preferred.get(id_);
   }
 
+  const std::uint64_t id_ = reclaim::detail::next_instance_id();
   core::TwoDParams params_;
   alignas(64) std::atomic<std::uint64_t> put_max_;
   alignas(64) std::atomic<std::uint64_t> get_max_;

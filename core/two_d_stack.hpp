@@ -9,6 +9,12 @@
 // `shift`, pop shifts it down, never past depth. Theorem 1 then bounds the
 // rank error by k = (2*shift + depth) * (width - 1) (see core/params.hpp).
 //
+// Column heads pack the node pointer with the column count in one word
+// (core/substack.hpp), so every eligibility check is a single atomic load
+// with no dereference: pushes and window probes run entirely outside the
+// reclaimer, and only a pop that found an eligible column pins it to read
+// head->next.
+//
 // Memory reclamation is a template policy (see reclaim/leaky.hpp for the
 // contract); the default is epoch-based.
 #pragma once
@@ -23,6 +29,7 @@
 #include "core/params.hpp"
 #include "core/substack.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/slot_registry.hpp"
 
 namespace r2d {
 
@@ -53,74 +60,58 @@ class TwoDStack {
   const core::TwoDParams& params() const { return params_; }
 
   void push(T value) {
-    auto guard = reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
+    Node* node = new Node{nullptr, std::move(value)};
     // Fast path: one probe of the thread's last successful column under
-    // the current window — no sweep state, no divisions.
+    // the current window — one window read, one packed-head read, one CAS;
+    // no sweep state, no divisions, no reclaimer.
     const std::uint64_t max = window_max_.load(std::memory_order_acquire);
-    std::size_t& preferred = preferred_index();
-    if (preferred >= params_.width) [[unlikely]] preferred = 0;
-    const std::size_t index = preferred;
+    const std::size_t index = preferred_index();
     Column& column = columns_[index];
-    Node* head = guard.protect(column.head);
-    const std::uint64_t count = core::column_count(head);
-    if (count < max) [[likely]] {
-      node->next = head;
-      node->count = count + 1;
-      if (column.head.compare_exchange_strong(head, node,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed))
+    std::uint64_t word = column.head.load(std::memory_order_acquire);
+    if (core::head_count(word) < max) [[likely]] {
+      node->next = core::head_node<T>(word);
+      if (column.head.compare_exchange_strong(
+              word, core::pack_head(node, core::packed_count_after_push(word)),
+              std::memory_order_release, std::memory_order_relaxed))
           [[likely]] {
         return;
       }
-      push_slow(guard, node, max, index, /*contended=*/true);
+      push_slow(node, max, index, /*contended=*/true);
       return;
     }
-    push_slow(guard, node, max, index, /*contended=*/false);
+    push_slow(node, max, index, /*contended=*/false);
   }
 
   std::optional<T> pop() {
-    auto guard = reclaimer_.pin();
     const std::uint64_t max = window_max_.load(std::memory_order_acquire);
     // Invariant: window_max_ never drops below depth (init and down-shift
     // both clamp), so the band bottom needs no underflow guard.
     const std::uint64_t low = max - params_.depth;
-    std::size_t& preferred = preferred_index();
-    if (preferred >= params_.width) [[unlikely]] preferred = 0;
-    const std::size_t index = preferred;
-    Column& column = columns_[index];
-    Node* head = guard.protect(column.head);
-    if (head != nullptr && head->count > low) [[likely]] {
-      Node* next = head->next;
-      if (column.head.compare_exchange_strong(head, next,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_relaxed))
-          [[likely]] {
-        T value = std::move(head->value);
-        guard.retire(head);
-        return value;
-      }
-      return pop_slow(guard, max, index, /*contended=*/true);
+    const std::size_t index = preferred_index();
+    const std::uint64_t word =
+        columns_[index].head.load(std::memory_order_acquire);
+    if (word != 0 && core::head_count(word) > low) [[likely]] {
+      if (auto value = try_pop_at(index, low)) [[likely]] return value;
+      return pop_slow(max, index, /*contended=*/true);
     }
-    return pop_slow(guard, max, index, /*contended=*/false);
+    return pop_slow(max, index, /*contended=*/false);
   }
 
-  /// True when every column's head was null at the moment it was read.
+  /// True when every column's head was empty at the moment it was read.
   bool empty() const {
     for (std::size_t i = 0; i < params_.width; ++i) {
-      if (columns_[i].head.load(std::memory_order_acquire) != nullptr) {
+      if (columns_[i].head.load(std::memory_order_acquire) != 0) {
         return false;
       }
     }
     return true;
   }
 
-  /// Racy sum of the column counts.
-  std::uint64_t approx_size() {
-    auto guard = reclaimer_.pin();
+  /// Racy sum of the column counts — a pure packed-word scan.
+  std::uint64_t approx_size() const {
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < params_.width; ++i) {
-      total += core::column_count(guard.protect(columns_[i].head));
+      total += core::head_count(columns_[i].head.load(std::memory_order_acquire));
     }
     return total;
   }
@@ -132,11 +123,36 @@ class TwoDStack {
     return params;
   }
 
-  template <typename Guard>
-  __attribute__((noinline)) void push_slow(Guard& guard, Node* node,
-                                           std::uint64_t max,
-                                           std::size_t start,
-                                           bool contended) {
+  /// Pin, re-read under protection, and attempt one pop CAS on `index`
+  /// with band bottom `low`. Returns the value on success; nullopt when
+  /// the column changed under us (contended or no longer eligible) — the
+  /// caller re-sweeps. This is the only place an operation dereferences a
+  /// shared node, hence the only place that pins the reclaimer. Inlined
+  /// into pop()'s fast path (an out-of-line optional<T> return costs ~10%
+  /// of the round-trip on this host).
+  __attribute__((always_inline)) inline std::optional<T> try_pop_at(
+      std::size_t index, std::uint64_t low) {
+    Column& column = columns_[index];
+    auto guard = reclaimer_.pin();
+    std::uint64_t word = guard.protect_word(column.head, core::head_node<T>);
+    Node* head = core::head_node<T>(word);
+    if (head == nullptr || core::head_count(word) <= low) return std::nullopt;
+    Node* next = head->next;
+    if (column.head.compare_exchange_strong(
+            word,
+            core::pack_head(next, core::packed_count_after_pop(word, next)),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      T value = std::move(head->value);
+      guard.retire(head);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  __attribute__((noinline, cold)) void push_slow(Node* node,
+                                                 std::uint64_t max,
+                                                 std::size_t start,
+                                                 bool contended) {
     Sweep sweep(params_, start);
     if (contended) {
       sweep.on_cas_fail();
@@ -146,14 +162,13 @@ class TwoDStack {
     while (true) {
       refresh_window(max, sweep);
       Column& column = columns_[sweep.index];
-      Node* head = guard.protect(column.head);
-      const std::uint64_t count = core::column_count(head);
-      if (count < max) {
-        node->next = head;
-        node->count = count + 1;
-        if (column.head.compare_exchange_strong(head, node,
-                                                std::memory_order_release,
-                                                std::memory_order_relaxed)) {
+      std::uint64_t word = column.head.load(std::memory_order_acquire);
+      if (core::head_count(word) < max) {
+        node->next = core::head_node<T>(word);
+        if (column.head.compare_exchange_strong(
+                word,
+                core::pack_head(node, core::packed_count_after_push(word)),
+                std::memory_order_release, std::memory_order_relaxed)) {
           preferred_index() = sweep.index;
           return;
         }
@@ -162,7 +177,7 @@ class TwoDStack {
       }
       sweep.on_ineligible();
       if (needs_certification(sweep) &&
-          certify_failed_sweep(guard, sweep,
+          certify_failed_sweep(sweep,
                                [max](std::uint64_t c) { return c < max; })) {
         shift_window(max, max + params_.shift);
         sweep.reset();
@@ -170,11 +185,8 @@ class TwoDStack {
     }
   }
 
-  template <typename Guard>
-  __attribute__((noinline)) std::optional<T> pop_slow(Guard& guard,
-                                                      std::uint64_t max,
-                                                      std::size_t start,
-                                                      bool contended) {
+  __attribute__((noinline, cold)) std::optional<T> pop_slow(
+      std::uint64_t max, std::size_t start, bool contended) {
     Sweep sweep(params_, start);
     if (contended) {
       sweep.on_cas_fail();
@@ -184,16 +196,11 @@ class TwoDStack {
     while (true) {
       refresh_window(max, sweep);
       const std::uint64_t low = max - params_.depth;  // max >= depth invariant
-      Column& column = columns_[sweep.index];
-      Node* head = guard.protect(column.head);
-      if (head != nullptr && head->count > low) {
-        Node* next = head->next;
-        if (column.head.compare_exchange_strong(head, next,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_relaxed)) {
+      const std::uint64_t word =
+          columns_[sweep.index].head.load(std::memory_order_acquire);
+      if (word != 0 && core::head_count(word) > low) {
+        if (auto value = try_pop_at(sweep.index, low)) {
           preferred_index() = sweep.index;
-          T value = std::move(head->value);
-          guard.retire(head);
           return value;
         }
         sweep.on_cas_fail();
@@ -201,12 +208,13 @@ class TwoDStack {
       }
       sweep.on_ineligible();
       if (needs_certification(sweep) &&
-          certify_failed_sweep(guard, sweep, [low](std::uint64_t c) {
+          certify_failed_sweep(sweep, [low](std::uint64_t c) {
             return c > low;
           })) {
         if (low == 0) {
           // Window is already at the bottom and every column certified as
-          // at-or-below it, i.e. empty.
+          // at-or-below it, i.e. empty (count == 0 <=> empty column, which
+          // the saturation protocol preserves).
           return std::nullopt;
         }
         shift_window(max, std::max(params_.depth, max - params_.shift));
@@ -274,14 +282,15 @@ class TwoDStack {
 
   /// Certify that no column is eligible. Streak-based modes already proved
   /// it; random-only pays a full read-only scan here (it cannot certify
-  /// from random probes). Returns false after repositioning the sweep when
-  /// the scan finds an eligible column.
-  template <typename Guard, typename Eligible>
-  bool certify_failed_sweep(Guard& guard, Sweep& sweep, Eligible eligible) {
+  /// from random probes). A pure packed-word scan — no guard. Returns
+  /// false after repositioning the sweep when the scan finds an eligible
+  /// column.
+  template <typename Eligible>
+  bool certify_failed_sweep(Sweep& sweep, Eligible eligible) {
     if (sweep.p.hop_mode != core::HopMode::kRandomOnly) return true;
     for (std::size_t i = 0; i < params_.width; ++i) {
       const std::uint64_t count =
-          core::column_count(guard.protect(columns_[i].head));
+          core::head_count(columns_[i].head.load(std::memory_order_acquire));
       if (eligible(count)) {
         sweep.index = i;
         sweep.random_probes = 0;
@@ -305,18 +314,26 @@ class TwoDStack {
                                         std::memory_order_relaxed);
   }
 
+  /// Per-(thread, instance) preferred column, keyed by this instance's
+  /// process-unique id (core::InstanceLocal) so two stacks of the same
+  /// instantiation never pollute each other's fast path. Always returns a
+  /// value below width.
   std::size_t& preferred_index() {
-    thread_local std::size_t index = 0;
+    thread_local core::InstanceLocal<std::size_t> preferred;
+    std::size_t& index = preferred.get(id_);
+    if (index >= params_.width) [[unlikely]] index = 0;
     return index;
   }
 
   // Layout: everything the fast path reads — the shape, the column array
-  // base, and the window — lives on one cacheline. Window shifts write
-  // that line, but a shift is amortized over at least a full sweep of
-  // failed probes, and every reader needs the new window value anyway.
+  // base, the window, and the instance id — lives on one cacheline.
+  // Window shifts write that line, but a shift is amortized over at least
+  // a full sweep of failed probes, and every reader needs the new window
+  // value anyway.
   alignas(64) core::TwoDParams params_;
   std::unique_ptr<Column[]> columns_;
   std::atomic<std::uint64_t> window_max_{0};
+  const std::uint64_t id_ = reclaim::detail::next_instance_id();
   Reclaimer reclaimer_;
 };
 

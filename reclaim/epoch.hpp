@@ -1,13 +1,21 @@
 // EpochReclaimer: three-epoch epoch-based reclamation (EBR).
 //
 // The default policy for every r2d container. Each operation announces the
-// global epoch on entry (one store + fence) and goes idle on exit (one
-// store); retired nodes land in the announcing thread's bucket for that
-// epoch and are freed once the global epoch has advanced twice past it —
-// at which point no thread can still hold a reference (the epoch-(e)
-// bucket is freed when the global epoch reaches e+2; every critical
-// section from epochs <= e has exited by then and later sections started
-// after the nodes were unlinked).
+// global epoch on entry and goes idle on exit (one store each); retired
+// nodes land in the announcing thread's bucket for that epoch and are
+// freed once the global epoch has advanced twice past it — at which point
+// no thread can still hold a reference (the epoch-(e) bucket is freed when
+// the global epoch reaches e+2; every critical section from epochs <= e
+// has exited by then and later sections started after the nodes were
+// unlinked).
+//
+// The announcement must be ordered before the critical section's pointer
+// loads (a store-load ordering). On kernels with
+// membarrier(PRIVATE_EXPEDITED) that ordering is asymmetric: pin() pays
+// only a release store plus a compiler barrier, and the epoch advancer
+// issues the full barrier process-wide before scanning announcements (see
+// reclaim/membarrier.hpp). Elsewhere — or with R2D_MEMBARRIER=0 — pin()
+// falls back to the classic per-operation seq_cst fence.
 //
 // Policy contract: see reclaim/leaky.hpp. Bounded garbage: at most the
 // nodes retired across three epochs per thread.
@@ -18,14 +26,37 @@
 #include <memory>
 #include <vector>
 
+#include "reclaim/membarrier.hpp"
 #include "reclaim/slot_registry.hpp"
+
+// EBR's safety argument is temporal — "a thread announcing a recent epoch
+// cannot still hold nodes retired two epochs ago" — which no
+// happens-before edge expresses, and TSan models neither the symmetric
+// seq_cst fence nor membarrier. Recycling node memory under TSan therefore
+// produces false data-race reports; TSan builds defer every free to the
+// reclaimer destructor instead. ASan builds recycle for real and are the
+// configuration that catches genuine use-after-free.
+#if defined(__SANITIZE_THREAD__)
+#define R2D_EBR_DEFER_FREES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define R2D_EBR_DEFER_FREES 1
+#endif
+#endif
+#ifndef R2D_EBR_DEFER_FREES
+#define R2D_EBR_DEFER_FREES 0
+#endif
 
 namespace r2d::reclaim {
 
 class EpochReclaimer {
   static constexpr std::size_t kMaxSlots = 256;
   static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  // Retires between advance attempts. The membarrier path amortizes its
+  // advance-side syscall over a longer cadence; garbage stays bounded by
+  // three epochs of retires per thread either way.
   static constexpr std::uint64_t kAdvanceEvery = 64;
+  static constexpr std::uint64_t kAdvanceEveryMembarrier = 256;
 
   struct Retired {
     void* node;
@@ -78,6 +109,15 @@ class EpochReclaimer {
       return src.load(std::memory_order_acquire);
     }
 
+    /// Safe load of a packed head word; `unpack` names the node pointer a
+    /// policy would have to shield (unused here — the epoch announcement
+    /// covers it).
+    template <typename Unpack>
+    std::uint64_t protect_word(const std::atomic<std::uint64_t>& src,
+                               Unpack /*unpack*/, unsigned /*slot*/ = 0) {
+      return src.load(std::memory_order_acquire);
+    }
+
     template <typename T>
     void retire(T* node) {
       r_->retire_at(s_, node,
@@ -92,32 +132,50 @@ class EpochReclaimer {
   Guard pin() {
     Slot* s = local_slot();
     const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
-    s->epoch.store(e, std::memory_order_relaxed);
-    // Order the announcement before any pointer load in the critical
-    // section (store-load barrier).
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (membarrier_) [[likely]] {
+      // Release keeps the happens-before edge to the advancer's acquire
+      // scan; the store-load ordering against this critical section's
+      // loads comes from the advancer's membarrier, so only a compiler
+      // barrier is needed here (see reclaim/membarrier.hpp).
+      s->epoch.store(e, std::memory_order_release);
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    } else {
+      // Order the announcement before any pointer load in the critical
+      // section (store-load barrier).
+      s->epoch.store(e, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
     return Guard(this, s);
   }
+
+  /// True when pin() runs fence-free and the advance side pays the
+  /// membarrier instead.
+  bool uses_membarrier() const { return membarrier_; }
 
  private:
   void retire_at(Slot* s, void* node, void (*destroy)(void*)) {
     const std::uint64_t e = s->epoch.load(std::memory_order_relaxed);
     auto& bucket = s->bucket[e % 3];
     if (s->bucket_epoch[e % 3] != e) {
+#if !R2D_EBR_DEFER_FREES
       // Bucket holds nodes from epoch e-3 or older; the global epoch has
       // since reached at least e >= old+3 > old+2, so they are safe.
       for (const Retired& r : bucket) r.destroy(r.node);
       bucket.clear();
+#endif
       s->bucket_epoch[e % 3] = e;
     }
     bucket.push_back(Retired{node, destroy});
-    if (++s->retires_since_advance >= kAdvanceEvery) {
+    if (++s->retires_since_advance >= advance_every_) {
       s->retires_since_advance = 0;
       try_advance();
     }
   }
 
   void try_advance() {
+    // Make every thread's (announce; load) pair ordered with respect to
+    // the scan below — the heavy half of pin()'s asymmetric fence.
+    detail::asymmetric_heavy_fence(membarrier_);
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
@@ -140,6 +198,9 @@ class EpochReclaimer {
   }
 
   const std::uint64_t id_ = detail::next_instance_id();
+  const bool membarrier_ = detail::use_membarrier();
+  const std::uint64_t advance_every_ =
+      membarrier_ ? kAdvanceEveryMembarrier : kAdvanceEvery;
   std::atomic<std::uint64_t> global_epoch_{0};
   std::atomic<std::size_t> hwm_{0};
   std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};

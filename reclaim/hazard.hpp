@@ -75,6 +75,21 @@ class HazardReclaimer {
       }
     }
 
+    /// Safe load of a packed head word: publishes the node pointer
+    /// `unpack` extracts from it as the hazard, with the usual
+    /// publish-and-revalidate loop on the whole word.
+    template <typename Unpack>
+    std::uint64_t protect_word(const std::atomic<std::uint64_t>& src,
+                               Unpack unpack, unsigned slot = 0) {
+      std::uint64_t w = src.load(std::memory_order_acquire);
+      while (true) {
+        s_->hazard[slot].store(unpack(w), std::memory_order_seq_cst);
+        const std::uint64_t w2 = src.load(std::memory_order_acquire);
+        if (w2 == w) return w;
+        w = w2;
+      }
+    }
+
     template <typename T>
     void retire(T* node) {
       r_->retire_at(s_, node,

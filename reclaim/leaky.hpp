@@ -5,7 +5,12 @@
 //
 //   auto g = reclaimer.pin();          // enter critical section (RAII)
 //   T* p = g.protect(head, slot);      // hazard-safe load of atomic<T*>
+//   w = g.protect_word(head, unpack);  // same for a packed head word whose
+//                                      // node pointer `unpack` extracts
 //   g.retire(p);                       // defer delete of an unlinked node
+//
+// Operations that never dereference a shared node — packed-head pushes and
+// count probes read one atomic word — need no guard at all.
 //
 // `protect` may be called for up to kMaxProtected distinct slots per guard;
 // `retire` must be called at most once per node, only after the node is
@@ -24,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 namespace r2d::reclaim {
 
@@ -35,6 +41,12 @@ class LeakyReclaimer {
    public:
     template <typename T>
     T* protect(const std::atomic<T*>& src, unsigned /*slot*/ = 0) {
+      return src.load(std::memory_order_acquire);
+    }
+
+    template <typename Unpack>
+    std::uint64_t protect_word(const std::atomic<std::uint64_t>& src,
+                               Unpack /*unpack*/, unsigned /*slot*/ = 0) {
       return src.load(std::memory_order_acquire);
     }
 

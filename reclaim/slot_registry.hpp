@@ -65,8 +65,15 @@ template <typename Slot, unsigned kWays = 8>
 class SlotCache {
  public:
   Slot* lookup(std::uint64_t instance_id) {
+    // Last-hit fast path: back-to-back operations on one instance — the
+    // per-op common case — pay one compare, no scan.
+    if (last_id_ == instance_id) return last_slot_;
     for (unsigned i = 0; i < kWays; ++i) {
-      if (entries_[i].id == instance_id) return entries_[i].slot;
+      if (entries_[i].id == instance_id) {
+        last_id_ = instance_id;
+        last_slot_ = entries_[i].slot;
+        return last_slot_;
+      }
     }
     return nullptr;
   }
@@ -74,6 +81,8 @@ class SlotCache {
   void insert(std::uint64_t instance_id, Slot* slot) {
     entries_[next_] = Entry{instance_id, slot};
     next_ = (next_ + 1) % kWays;
+    last_id_ = instance_id;
+    last_slot_ = slot;
   }
 
  private:
@@ -82,6 +91,8 @@ class SlotCache {
     Slot* slot = nullptr;
   };
   Entry entries_[kWays];
+  std::uint64_t last_id_ = 0;
+  Slot* last_slot_ = nullptr;
   unsigned next_ = 0;
 };
 

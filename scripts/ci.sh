@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a fast smoke bench.
+# Tier-1 verify plus a fast smoke bench and the recorded perf trajectory.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   R2D_SANITIZER=asan|tsan  configure the sanitizer toggle
+#
+# Sanitizer configs additionally smoke the packed-head benches (packed
+# pointers are easy to get wrong under ASan/TSan); the plain config adds a
+# Release-mode perf smoke that records machine-readable bench points as
+# BENCH_micro.json / BENCH_fig2.json (ops/s per structure, host core
+# count, git sha — see bench/common.hpp for the schema).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,5 +27,40 @@ R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 \
 echo "=== smoke: fig2_thread_sweep ==="
 R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
   "$BUILD_DIR/fig2_thread_sweep"
+if [ -x "$BUILD_DIR/micro_ops" ]; then
+  # Runs under whatever sanitizer this config selected — the assertion
+  # that the packed head-word fast paths are clean under ASan/TSan too.
+  echo "=== smoke: micro_ops ==="
+  "$BUILD_DIR/micro_ops" --benchmark_filter='single/' \
+    --benchmark_min_time=0.02
+fi
+
+# Perf trajectory: a Release-mode smoke that records bench points. Skipped
+# under sanitizers (their timings are noise, and the plain config is the
+# one every CI run executes first).
+if [ -z "$SANITIZER" ]; then
+  PERF_DIR=build-perf
+  GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  # Drop stale trajectory files so the -s assertions below can only pass
+  # on output this run actually wrote.
+  rm -f BENCH_micro.json BENCH_fig2.json
+  cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DR2D_SANITIZER=
+  cmake --build "$PERF_DIR" -j "$(nproc)"
+  if [ -x "$PERF_DIR/micro_ops" ]; then
+    echo "=== perf smoke: micro_ops -> BENCH_micro.json ==="
+    R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_micro.json \
+      "$PERF_DIR/micro_ops" --benchmark_filter='single/' \
+      --benchmark_min_time=0.05
+    test -s BENCH_micro.json
+  else
+    echo "perf smoke: micro_ops not built (no google-benchmark); skipping" \
+         "BENCH_micro.json"
+  fi
+  echo "=== perf smoke: fig2_thread_sweep -> BENCH_fig2.json ==="
+  R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_fig2.json \
+    R2D_DURATION_MS=100 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
+    "$PERF_DIR/fig2_thread_sweep"
+  test -s BENCH_fig2.json
+fi
 
 echo "ci.sh: all green"

@@ -7,7 +7,9 @@
 //
 // None of these maintain a window, so their rank error is unbounded in
 // theory (bounded in practice by balance); they are the paper's
-// load-balancing comparison points for Figure 2.
+// load-balancing comparison points for Figure 2. All placement decisions
+// read packed head words (count + pointer in one atomic), so pushes and
+// count probes never pin the reclaimer — only pops do.
 #pragma once
 
 #include <algorithm>
@@ -42,15 +44,15 @@ class ColumnArrayStack {
     for (std::size_t i = 0; i < width_; ++i) core::drain_column(columns_[i]);
   }
 
-  /// One CAS attempt; on success the node is linked.
-  bool try_push_at(Guard& guard, std::size_t index, Node* node) {
+  /// One CAS attempt; on success the node is linked. No dereference, no
+  /// guard.
+  bool try_push_at(std::size_t index, Node* node) {
     Column& column = columns_[index];
-    Node* head = guard.protect(column.head);
-    node->next = head;
-    node->count = core::column_count(head) + 1;
-    return column.head.compare_exchange_strong(head, node,
-                                               std::memory_order_release,
-                                               std::memory_order_relaxed);
+    std::uint64_t word = column.head.load(std::memory_order_acquire);
+    node->next = core::head_node<T>(word);
+    return column.head.compare_exchange_strong(
+        word, core::pack_head(node, core::packed_count_after_push(word)),
+        std::memory_order_release, std::memory_order_relaxed);
   }
 
   /// One CAS attempt; nullopt when the column was empty or contended
@@ -58,12 +60,17 @@ class ColumnArrayStack {
   std::optional<T> try_pop_at(Guard& guard, std::size_t index,
                               bool& was_empty) {
     Column& column = columns_[index];
-    Node* head = guard.protect(column.head);
+    const std::uint64_t word =
+        guard.protect_word(column.head, core::head_node<T>);
+    Node* head = core::head_node<T>(word);
     was_empty = head == nullptr;
     if (head == nullptr) return std::nullopt;
-    if (column.head.compare_exchange_strong(head, head->next,
-                                            std::memory_order_acq_rel,
-                                            std::memory_order_relaxed)) {
+    Node* next = head->next;
+    std::uint64_t expected = word;
+    if (column.head.compare_exchange_strong(
+            expected,
+            core::pack_head(next, core::packed_count_after_pop(word, next)),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
       T value = std::move(head->value);
       guard.retire(head);
       return value;
@@ -71,8 +78,8 @@ class ColumnArrayStack {
     return std::nullopt;
   }
 
-  std::uint64_t count_at(Guard& guard, std::size_t index) {
-    return core::column_count(guard.protect(columns_[index].head));
+  std::uint64_t count_at(std::size_t index) const {
+    return core::head_count(columns_[index].head.load(std::memory_order_acquire));
   }
 
   /// Sweep every column once; returns nullopt only after observing all of
@@ -92,17 +99,17 @@ class ColumnArrayStack {
  public:
   bool empty() const {
     for (std::size_t i = 0; i < width_; ++i) {
-      if (columns_[i].head.load(std::memory_order_acquire) != nullptr) {
+      if (columns_[i].head.load(std::memory_order_acquire) != 0) {
         return false;
       }
     }
     return true;
   }
 
-  std::uint64_t approx_size() {
-    auto guard = reclaimer_.pin();
+  /// Racy sum of the column counts — a pure packed-word scan.
+  std::uint64_t approx_size() const {
     std::uint64_t total = 0;
-    for (std::size_t i = 0; i < width_; ++i) total += count_at(guard, i);
+    for (std::size_t i = 0; i < width_; ++i) total += count_at(i);
     return total;
   }
 
@@ -126,9 +133,8 @@ class RandomStack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit RandomStack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    auto guard = this->reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
-    while (!this->try_push_at(guard, this->random_index(), node)) {
+    Node* node = new Node{nullptr, std::move(value)};
+    while (!this->try_push_at(this->random_index(), node)) {
     }
   }
 
@@ -162,15 +168,15 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit RandomC2Stack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    auto guard = this->reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
+    Node* node = new Node{nullptr, std::move(value)};
     while (true) {
       const auto [a, b] = sample_two();
       // Push to the shorter column: keeps the columns balanced, which is
-      // what bounds the observed rank error.
+      // what bounds the observed rank error. Both counts come from one
+      // packed-word load each — the c2 choice is guard-free.
       const std::size_t target =
-          this->count_at(guard, a) <= this->count_at(guard, b) ? a : b;
-      if (this->try_push_at(guard, target, node)) return;
+          this->count_at(a) <= this->count_at(b) ? a : b;
+      if (this->try_push_at(target, node)) return;
     }
   }
 
@@ -180,7 +186,7 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
       const auto [a, b] = sample_two();
       // Pop from the taller column: its top is the more recent push.
       const std::size_t target =
-          this->count_at(guard, a) >= this->count_at(guard, b) ? a : b;
+          this->count_at(a) >= this->count_at(b) ? a : b;
       bool was_empty = false;
       if (auto v = this->try_pop_at(guard, target, was_empty)) return v;
     }
@@ -207,10 +213,9 @@ class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit KRobinStack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    auto guard = this->reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
+    Node* node = new Node{nullptr, std::move(value)};
     std::size_t index = next_index();
-    while (!this->try_push_at(guard, index, node)) {
+    while (!this->try_push_at(index, node)) {
       index = next_index();
     }
   }

@@ -83,16 +83,18 @@ class EliminationStack {
   ~EliminationStack() { core::drain_column(column_); }
 
   void push(T value) {
-    auto guard = reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
+    // Packed-head pushes never dereference the old head, so neither the
+    // central-stack attempts nor the collision path (whose records live in
+    // a process-lifetime pool) need the reclaimer.
+    Node* node = new Node{nullptr, std::move(value)};
     while (true) {
+      std::uint64_t word = column_.head.load(std::memory_order_acquire);
       for (unsigned attempt = 0;; ++attempt) {
-        Node* head = guard.protect(column_.head);
-        node->next = head;
-        node->count = core::column_count(head) + 1;
-        if (column_.head.compare_exchange_strong(head, node,
-                                                 std::memory_order_release,
-                                                 std::memory_order_relaxed)) {
+        node->next = core::head_node<T>(word);
+        if (column_.head.compare_exchange_strong(
+                word,
+                core::pack_head(node, core::packed_count_after_push(word)),
+                std::memory_order_release, std::memory_order_acquire)) {
           return;
         }
         if (attempt + 1 >= params_.cas_attempts) break;
@@ -105,20 +107,30 @@ class EliminationStack {
   }
 
   std::optional<T> pop() {
-    auto guard = reclaimer_.pin();
     while (true) {
-      for (unsigned attempt = 0;; ++attempt) {
-        Node* head = guard.protect(column_.head);
-        if (head == nullptr) return std::nullopt;
-        Node* next = head->next;
-        if (column_.head.compare_exchange_strong(head, next,
-                                                 std::memory_order_acq_rel,
-                                                 std::memory_order_relaxed)) {
-          T value = std::move(head->value);
-          guard.retire(head);
-          return value;
+      {
+        // Pin only around the central-stack attempts; spinning in the
+        // collision array must not stall epoch advancement.
+        auto guard = reclaimer_.pin();
+        std::uint64_t word =
+            guard.protect_word(column_.head, core::head_node<T>);
+        for (unsigned attempt = 0;; ++attempt) {
+          Node* head = core::head_node<T>(word);
+          if (head == nullptr) return std::nullopt;
+          Node* next = head->next;
+          if (column_.head.compare_exchange_strong(
+                  word,
+                  core::pack_head(next,
+                                  core::packed_count_after_pop(word, next)),
+                  std::memory_order_acq_rel, std::memory_order_relaxed)) {
+            T value = std::move(head->value);
+            guard.retire(head);
+            return value;
+          }
+          if (attempt + 1 >= params_.cas_attempts) break;
+          // Re-cover the new head before dereferencing it.
+          word = guard.protect_word(column_.head, core::head_node<T>);
         }
-        if (attempt + 1 >= params_.cas_attempts) break;
       }
       T value{};
       if (try_eliminate_pop(value)) return value;
@@ -126,12 +138,11 @@ class EliminationStack {
   }
 
   bool empty() const {
-    return column_.head.load(std::memory_order_acquire) == nullptr;
+    return column_.head.load(std::memory_order_acquire) == 0;
   }
 
-  std::uint64_t approx_size() {
-    auto guard = reclaimer_.pin();
-    return core::column_count(guard.protect(column_.head));
+  std::uint64_t approx_size() const {
+    return core::head_count(column_.head.load(std::memory_order_acquire));
   }
 
  private:

@@ -1,8 +1,10 @@
 // TreiberStack: the strict lock-free baseline (Treiber 1986).
 //
-// A single count-carrying column (core/substack.hpp) behind the pluggable
+// A single packed-head column (core/substack.hpp) behind the pluggable
 // reclamation policy. This is the stack every figure compares against and
-// the sub-structure the distributed designs shard.
+// the sub-structure the distributed designs shard. Pushes link onto the
+// packed head without dereferencing it, so they never touch the reclaimer;
+// only pops (which read head->next) pin.
 #pragma once
 
 #include <atomic>
@@ -29,43 +31,49 @@ class TreiberStack {
   ~TreiberStack() { core::drain_column(column_); }
 
   void push(T value) {
-    auto guard = reclaimer_.pin();
-    Node* node = new Node{nullptr, 0, std::move(value)};
+    Node* node = new Node{nullptr, std::move(value)};
+    std::uint64_t word = column_.head.load(std::memory_order_acquire);
     while (true) {
-      Node* head = guard.protect(column_.head);
-      node->next = head;
-      node->count = core::column_count(head) + 1;
-      if (column_.head.compare_exchange_weak(head, node,
-                                             std::memory_order_release,
-                                             std::memory_order_relaxed)) {
+      node->next = core::head_node<T>(word);
+      if (column_.head.compare_exchange_weak(
+              word, core::pack_head(node, core::packed_count_after_push(word)),
+              std::memory_order_release, std::memory_order_acquire)) {
         return;
       }
     }
   }
 
   std::optional<T> pop() {
+    // Word-only empty probe before paying for a pin.
+    if (column_.head.load(std::memory_order_acquire) == 0) {
+      return std::nullopt;
+    }
     auto guard = reclaimer_.pin();
+    std::uint64_t word = guard.protect_word(column_.head, core::head_node<T>);
     while (true) {
-      Node* head = guard.protect(column_.head);
+      Node* head = core::head_node<T>(word);
       if (head == nullptr) return std::nullopt;
       Node* next = head->next;
-      if (column_.head.compare_exchange_weak(head, next,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_relaxed)) {
+      if (column_.head.compare_exchange_weak(
+              word,
+              core::pack_head(next, core::packed_count_after_pop(word, next)),
+              std::memory_order_acq_rel, std::memory_order_relaxed)) {
         T value = std::move(head->value);
         guard.retire(head);
         return value;
       }
+      // Re-cover the new head before dereferencing it (hazard policies
+      // must republish).
+      word = guard.protect_word(column_.head, core::head_node<T>);
     }
   }
 
   bool empty() const {
-    return column_.head.load(std::memory_order_acquire) == nullptr;
+    return column_.head.load(std::memory_order_acquire) == 0;
   }
 
-  std::uint64_t approx_size() {
-    auto guard = reclaimer_.pin();
-    return core::column_count(guard.protect(column_.head));
+  std::uint64_t approx_size() const {
+    return core::head_count(column_.head.load(std::memory_order_acquire));
   }
 
  private:

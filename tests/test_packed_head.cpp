@@ -1,0 +1,199 @@
+// Packed head-word tests: pack/unpack round trips, count saturation at the
+// 16-bit ceiling (sticky until empty, exact below it), the
+// TwoDParams::validate() rejection of shapes that could overflow the
+// packed count, and a one-column concurrent stress that hammers a single
+// packed CAS word to hunt ABA (run under TSan/ASan by the sanitizer CI
+// configs).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/substack.hpp"
+#include "core/two_d_stack.hpp"
+#include "stacks/treiber_stack.hpp"
+#include "check.hpp"
+
+namespace {
+
+using Node = r2d::core::StackNode<std::uint64_t>;
+using r2d::core::head_count;
+using r2d::core::head_node;
+using r2d::core::kPackedCountMax;
+using r2d::core::pack_head;
+using r2d::core::packed_count_after_pop;
+using r2d::core::packed_count_after_push;
+
+void round_trips() {
+  Node stack_node{nullptr, 7};
+  Node* heap_node = new Node{nullptr, 9};
+  for (Node* node : {static_cast<Node*>(nullptr), &stack_node, heap_node}) {
+    for (std::uint64_t count :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{100}, kPackedCountMax - 1, kPackedCountMax}) {
+      const std::uint64_t word = pack_head(node, count);
+      CHECK(head_node<std::uint64_t>(word) == node);
+      CHECK_EQ(head_count(word), count);
+    }
+  }
+  // Empty column is all-zeroes: nullptr at count 0 packs to the word the
+  // zero-initialized column starts with.
+  CHECK_EQ(pack_head(static_cast<Node*>(nullptr), 0), std::uint64_t{0});
+  delete heap_node;
+}
+
+void saturation_protocol() {
+  Node a{nullptr, 1};
+  Node b{&a, 2};
+  // Push: exact below the ceiling, saturating at it.
+  CHECK_EQ(packed_count_after_push(pack_head(&a, 5)), std::uint64_t{6});
+  CHECK_EQ(packed_count_after_push(pack_head(&a, kPackedCountMax - 1)),
+           kPackedCountMax);
+  CHECK_EQ(packed_count_after_push(pack_head(&a, kPackedCountMax)),
+           kPackedCountMax);
+  // Pop: exact decrement below the ceiling; a saturated count is sticky
+  // while the column is non-empty and resets to zero when it empties.
+  CHECK_EQ(packed_count_after_pop(pack_head(&b, 5), b.next), std::uint64_t{4});
+  CHECK_EQ(packed_count_after_pop(pack_head(&b, kPackedCountMax), b.next),
+           kPackedCountMax);
+  CHECK_EQ(packed_count_after_pop(pack_head(&a, kPackedCountMax), a.next),
+           std::uint64_t{0});
+  CHECK_EQ(packed_count_after_pop(pack_head(&a, 1), a.next), std::uint64_t{0});
+}
+
+/// Drive a real column past the 16-bit ceiling: the count saturates, no
+/// value is lost, and draining resets the count == 0 <=> empty invariant.
+void treiber_past_the_ceiling() {
+  const std::uint64_t n = kPackedCountMax + 5000;  // > 2^16 - 1 items
+  r2d::stacks::TreiberStack<std::uint64_t> stack;
+  for (std::uint64_t i = 0; i < n; ++i) stack.push(i);
+  CHECK_EQ(stack.approx_size(), kPackedCountMax);  // saturated, not wrapped
+  CHECK(!stack.empty());
+
+  // Strict LIFO survives saturation: values come back in reverse.
+  for (std::uint64_t i = n; i-- > 0;) {
+    const auto v = stack.pop();
+    CHECK(v.has_value());
+    CHECK_EQ(*v, i);
+  }
+  CHECK(stack.empty());
+  CHECK_EQ(stack.approx_size(), std::uint64_t{0});  // reset on empty
+  CHECK(!stack.pop().has_value());
+}
+
+void validate_rejects_overflowing_windows() {
+  // depth beyond the packed ceiling could let a single window hold more
+  // items than the 16-bit count can represent.
+  for (const std::uint64_t depth :
+       {r2d::core::kMaxWindowDepth + 1, kPackedCountMax, kPackedCountMax + 1,
+        std::uint64_t{1} << 20}) {
+    bool threw = false;
+    try {
+      r2d::core::TwoDParams{4, depth, 1}.validate();
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+  // The deepest valid window is accepted.
+  r2d::core::TwoDParams{4, r2d::core::kMaxWindowDepth, 1}.validate();
+}
+
+/// One-column packed-CAS ABA hunt: every thread hammers the same head
+/// word, so a recycled node re-pushed at a recurring count is as likely as
+/// it gets. Multiset in == multiset out proves no torn/ABA-corrupted CAS.
+void one_column_hammer() {
+  r2d::core::TwoDParams p;
+  p.width = 1;
+  p.depth = 64;
+  p.shift = 32;
+  r2d::TwoDStack<std::uint64_t> stack(p);
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOps = 30000;
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<unsigned> ready{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      std::uint64_t label = (static_cast<std::uint64_t>(t) << 32) + 1;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        stack.push(label++);
+        if (i % 2 == 1) {
+          if (const auto v = stack.pop()) popped[t].push_back(*v);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<std::uint64_t> seen;
+  for (const auto& per_thread : popped) {
+    seen.insert(seen.end(), per_thread.begin(), per_thread.end());
+  }
+  while (const auto v = stack.pop()) seen.push_back(*v);
+  CHECK_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kOps);
+  std::sort(seen.begin(), seen.end());
+  CHECK(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 1; i <= kOps; ++i) {
+      CHECK(std::binary_search(seen.begin(), seen.end(),
+                               (static_cast<std::uint64_t>(t) << 32) + i));
+    }
+  }
+  CHECK(stack.empty());
+  CHECK_EQ(stack.approx_size(), std::uint64_t{0});
+}
+
+/// Two stacks of the same instantiation on one thread: the
+/// instance-id-keyed preferred column must keep their fast paths apart
+/// (the old bare thread_local aliased them).
+void preferred_index_isolation() {
+  r2d::core::TwoDParams wide;
+  wide.width = 16;
+  wide.depth = 4;
+  wide.shift = 2;
+  r2d::TwoDStack<std::uint64_t> a(wide);
+  r2d::core::TwoDParams narrow;
+  narrow.width = 1;
+  narrow.depth = 4;
+  narrow.shift = 2;
+  r2d::TwoDStack<std::uint64_t> b(narrow);
+
+  // Interleave: a's preferred column can roam over 16 columns while b's
+  // must stay pinned at 0. With aliased state, a's roaming index lands in
+  // b (masked only by the width re-clamp) and vice versa; the multiset
+  // checks below still catch any cross-pollution that breaks routing.
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    a.push(i);
+    b.push(i);
+    if (i % 3 == 2) {
+      CHECK(a.pop().has_value());
+      CHECK(b.pop().has_value());
+    }
+  }
+  std::uint64_t a_items = 0;
+  while (a.pop()) ++a_items;
+  std::uint64_t b_items = 0;
+  while (b.pop()) ++b_items;
+  CHECK_EQ(a_items, std::uint64_t{2000 - 666});
+  CHECK_EQ(b_items, std::uint64_t{2000 - 666});
+}
+
+}  // namespace
+
+int main() {
+  round_trips();
+  saturation_protocol();
+  treiber_past_the_ceiling();
+  validate_rejects_overflowing_windows();
+  one_column_hammer();
+  preferred_index_isolation();
+  return TEST_MAIN_RESULT();
+}

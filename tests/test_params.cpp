@@ -48,11 +48,15 @@ int main() {
     CHECK_EQ(p.k_bound(), k);
   }
 
-  // validate() rejects malformed shapes.
-  for (const TwoDParams bad : {TwoDParams{0, 1, 1},    // zero width
-                               TwoDParams{1, 0, 1},    // zero depth
-                               TwoDParams{1, 4, 0},    // zero shift
-                               TwoDParams{1, 4, 5}}) { // shift > depth
+  // validate() rejects malformed shapes, including windows deeper than the
+  // packed column-count ceiling (see core/substack.hpp).
+  for (const TwoDParams bad :
+       {TwoDParams{0, 1, 1},                                  // zero width
+        TwoDParams{1, 0, 1},                                  // zero depth
+        TwoDParams{1, 4, 0},                                  // zero shift
+        TwoDParams{1, 4, 5},                                  // shift > depth
+        TwoDParams{4, r2d::core::kMaxWindowDepth + 1, 1},     // depth overflow
+        TwoDParams{4, r2d::core::kPackedCountMax + 100, 1}}) {
     bool threw = false;
     try {
       bad.validate();
@@ -60,6 +64,15 @@ int main() {
       threw = true;
     }
     CHECK(threw);
+  }
+
+  // An outsized relaxation budget clamps onto the deepest valid window
+  // instead of an invalid shape.
+  for (unsigned threads : {1u, 4u}) {
+    const TwoDParams p = TwoDParams::for_k(std::uint64_t{1} << 40, threads);
+    p.validate();
+    CHECK_EQ(p.depth, r2d::core::kMaxWindowDepth);
+    CHECK(p.k_bound() <= std::uint64_t{1} << 40);
   }
 
   return TEST_MAIN_RESULT();

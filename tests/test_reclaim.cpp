@@ -1,8 +1,13 @@
 // Reclamation-layer tests: Pool recycling, and the epoch / hazard /
 // leaky policies driven through a contended stack (the ASan configuration
-// of this test is what would catch a use-after-free or double-free).
+// of this test is what would catch a use-after-free or double-free). The
+// epoch policy is exercised under both fence modes — membarrier-based
+// asymmetric pin() and the symmetric seq_cst fallback forced by
+// R2D_MEMBARRIER=0.
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <vector>
@@ -94,7 +99,25 @@ int main() {
     CHECK_EQ(Tracked::live.load(), 0);
   }
 
-  hammer_with_reclaimer<r2d::reclaim::EpochReclaimer>("epoch");
+  {
+    // Default mode: membarrier-based asymmetric fencing wherever the
+    // kernel supports it, the symmetric fence elsewhere.
+    r2d::reclaim::EpochReclaimer r;
+    std::fprintf(stderr, "epoch pin fence mode: %s\n",
+                 r.uses_membarrier() ? "membarrier" : "seq_cst fallback");
+  }
+  hammer_with_reclaimer<r2d::reclaim::EpochReclaimer>("epoch/auto");
+
+  // R2D_MEMBARRIER=0 must force the symmetric fallback (the knob is read
+  // per reclaimer construction), and the policy must stay correct on it.
+  setenv("R2D_MEMBARRIER", "0", 1);
+  {
+    r2d::reclaim::EpochReclaimer r;
+    CHECK(!r.uses_membarrier());
+  }
+  hammer_with_reclaimer<r2d::reclaim::EpochReclaimer>("epoch/fallback");
+  unsetenv("R2D_MEMBARRIER");
+
   hammer_with_reclaimer<r2d::reclaim::HazardReclaimer>("hazard");
 #if !defined(__SANITIZE_ADDRESS__)
   // The leaky policy leaks by design; skip it under LeakSanitizer.
