@@ -1,0 +1,77 @@
+// EXT: 2D-Deque scaling — the second instance of the paper's future-work
+// claim, and the first container born on the shared window-sweep engine.
+//
+// Measures the 2D-Deque against its own width-1 configuration — which
+// degenerates to a single strict sub-deque behind the same window
+// machinery — over the thread sweep, plus the measured deque rank error
+// (each pop's distance from the end it used, quality::Order::kDeque). The
+// stack's Figure-2 shape (strict collapses, windowed relaxation scales,
+// error stays bounded) should transfer to both ends.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/two_d_deque.hpp"
+#include "harness/runner.hpp"
+#include "util/crash_trace.hpp"
+
+namespace {
+
+using namespace r2d::bench;
+
+r2d::core::TwoDParams deque_params(std::size_t width) {
+  r2d::core::TwoDParams p;
+  p.width = width;
+  p.depth = 16;
+  p.shift = 8;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  r2d::util::install_crash_tracer();
+  const BenchEnv env = BenchEnv::load();
+  r2d::util::Table table({"threads", "config", "mops", "stddev", "mean_err",
+                          "max_err"});
+  std::vector<JsonPoint> json;
+  std::cout << "=== EXT: 2D-Deque scaling (width 1 == strict sub-deque) ===\n";
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    if (threads > env.max_threads) continue;
+    const auto w = env.workload(threads);
+    struct Config {
+      const char* name;
+      std::size_t width;
+    };
+    for (const Config cfg : {Config{"deque (w=1)", 1},
+                             Config{"2D-deque (w=4P)", 4 * threads}}) {
+      const auto params = deque_params(cfg.width);
+      std::vector<double> mops;
+      for (unsigned rep = 0; rep < env.repeats; ++rep) {
+        r2d::TwoDDeque<Label> deque(params);
+        mops.push_back(r2d::harness::run_throughput_deque(deque, w).mops);
+      }
+      const auto summary = r2d::util::summarize(std::move(mops));
+      r2d::harness::QualityResult quality;
+      {
+        r2d::TwoDDeque<Label> deque(params);
+        quality = r2d::harness::run_quality_deque(deque, w);
+        if (quality.unknown_labels != 0) {
+          std::cerr << "WARNING: quality oracle saw " << quality.unknown_labels
+                    << " unknown labels (deque bug?)\n";
+        }
+      }
+      table.add_row({std::to_string(threads), cfg.name,
+                     r2d::util::Table::num(summary.mean),
+                     r2d::util::Table::num(summary.stddev),
+                     r2d::util::Table::num(quality.mean_error),
+                     r2d::util::Table::num(quality.max_error, 0)});
+      json.push_back(JsonPoint{cfg.name, threads, summary.mean});
+    }
+  }
+  emit(table, env, "ext_deque_scaling");
+  emit_json("ext_deque_scaling", json);
+  return 0;
+}

@@ -1,0 +1,356 @@
+// TwoDDeque: the 2D window framework instantiated for double-ended queues
+// — the next structure on the paper's future-work list, and the first
+// container built *on* the shared sweep engine rather than refactored onto
+// it.
+//
+// A width-array of small doubly-linked sub-deques under one window *per
+// end*. A column's occupancy says nothing about how out-of-order its front
+// or back item is (a column cycling push_front/pop_back keeps its
+// occupancy constant while its front segment drifts arbitrarily far behind
+// the other columns'), so the windows range over per-column signed
+// *end-flows* instead: the front flow f = front-pushes - front-pops and
+// the back flow b = back-pushes - back-pops. That is the stack's height
+// coordinate generalized per end — a front push is eligible on a column
+// whose front flow is below the front window, a front pop on a non-empty
+// column whose front flow is above front-window - depth, and symmetrically
+// at the back. Each certified failed sweep shifts its end's window
+// monotonically (push up / pop down) by `shift`; a pop whose certification
+// scan saw every column empty returns nullopt. The stack's Theorem-1
+// argument then applies to each end's flow coordinate, making
+// (2*shift + depth) * (width - 1) the per-end rank-error design target;
+// the harness's deque oracle mode (quality::Order::kDeque) measures the
+// distance each end actually pays. All four operations drive
+// core/window.hpp — two window words, four predicate pairs, one engine.
+//
+// Column representation: a sub-deque needs push/pop at both ends, which a
+// packed-head Treiber column cannot give, and lock-free doubly-ended
+// columns need DWCAS or steal/flip machinery orthogonal to this library's
+// point — the *window* is where the scalability comes from. So each column
+// is a doubly-linked list serialized by a one-word TTAS spinlock
+// (MultiQueue-style: many columns, short critical sections, hops on
+// contention), with both biased 32-bit flows packed into one adjacent
+// atomic word stored under the lock after every mutation (the column's
+// linearization point). That gives the engine the same property the
+// stacks' packed heads give: eligibility probes, certification scans,
+// empty() and approx_size() read one atomic word per column — no
+// dereference, no lock, and (since node lifetime is governed by the lock)
+// no reclaimer at all. The 31-bit signed flow range caps per-column
+// lifetime end-flow drift at ~2.1e9 operations, plenty for any measured
+// run; occupancy is the exact sum f + b, so count == 0 <=> empty needs no
+// saturation protocol.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/params.hpp"
+#include "core/substack.hpp"  // InstanceLocal
+#include "core/window.hpp"
+#include "reclaim/slot_registry.hpp"  // next_instance_id
+
+namespace r2d {
+
+template <typename T>
+class TwoDDeque {
+  /// Center of the biased 32-bit flow representation: a stored flow word
+  /// of kFlowBias means "net zero". Windows live on the same biased scale,
+  /// so every eligibility comparison is plain unsigned arithmetic.
+  static constexpr std::uint64_t kFlowBias = std::uint64_t{1} << 31;
+
+  struct Node {
+    Node* prev;
+    Node* next;
+    T value;
+  };
+
+  struct alignas(64) Column {
+    /// One-word TTAS spinlock over {front, back} and the list links.
+    std::atomic<bool> locked{false};
+    /// Packed biased flows: [front flow + bias : 32][back flow + bias : 32],
+    /// stored under the lock after every mutation (the column's
+    /// linearization point). Window probes and certification scans read
+    /// only this word.
+    std::atomic<std::uint64_t> flows{(kFlowBias << 32) | kFlowBias};
+    Node* front = nullptr;
+    Node* back = nullptr;
+
+    bool try_lock() {
+      return !locked.load(std::memory_order_relaxed) &&
+             !locked.exchange(true, std::memory_order_acquire);
+    }
+    void unlock() { locked.store(false, std::memory_order_release); }
+  };
+
+  static std::uint64_t front_flow(std::uint64_t word) { return word >> 32; }
+  static std::uint64_t back_flow(std::uint64_t word) {
+    return word & 0xffffffffu;
+  }
+  /// Exact occupancy: the biases cancel in f + b.
+  static std::uint64_t occupancy(std::uint64_t word) {
+    return front_flow(word) + back_flow(word) - 2 * kFlowBias;
+  }
+
+ public:
+  using value_type = T;
+
+  explicit TwoDDeque(core::TwoDParams params)
+      : params_(validated(std::move(params))),
+        columns_(std::make_unique<Column[]>(params_.width)) {
+    front_max_.store(kFlowBias + params_.depth, std::memory_order_relaxed);
+    back_max_.store(kFlowBias + params_.depth, std::memory_order_relaxed);
+  }
+
+  TwoDDeque(const TwoDDeque&) = delete;
+  TwoDDeque& operator=(const TwoDDeque&) = delete;
+
+  ~TwoDDeque() {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* node = columns_[i].front;
+      while (node != nullptr) {
+        Node* next = node->next;
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  const core::TwoDParams& params() const { return params_; }
+
+  void push_front(T value) { push<true>(std::move(value)); }
+  void push_back(T value) { push<false>(std::move(value)); }
+  std::optional<T> pop_front() { return pop<true>(); }
+  std::optional<T> pop_back() { return pop<false>(); }
+
+  /// True when every column's occupancy was zero at the moment its flow
+  /// word was read — a pure atomic scan, no locks.
+  bool empty() const {
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      if (occupancy(columns_[i].flows.load(std::memory_order_acquire)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Racy sum of the column occupancies.
+  std::uint64_t approx_size() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      total += occupancy(columns_[i].flows.load(std::memory_order_acquire));
+    }
+    return total;
+  }
+
+  /// Debug/test accessors: the two windows on the signed (unbiased) flow
+  /// scale — racy reads.
+  std::int64_t front_window() const {
+    return static_cast<std::int64_t>(front_max_.load(std::memory_order_acquire) -
+                                     kFlowBias);
+  }
+  std::int64_t back_window() const {
+    return static_cast<std::int64_t>(back_max_.load(std::memory_order_acquire) -
+                                     kFlowBias);
+  }
+
+ private:
+  static core::TwoDParams validated(core::TwoDParams params) {
+    params.validate();
+    return params;
+  }
+
+  /// The end-flow this end's window ranges over, on the biased scale.
+  template <bool kFront>
+  static std::uint64_t flow(std::uint64_t word) {
+    return kFront ? front_flow(word) : back_flow(word);
+  }
+
+  template <bool kFront>
+  std::atomic<std::uint64_t>& window_word() {
+    return kFront ? front_max_ : back_max_;
+  }
+
+  template <bool kFront>
+  void push(T value) {
+    Node* node = new Node{nullptr, nullptr, std::move(value)};
+    std::atomic<std::uint64_t>& window = window_word<kFront>();
+    const std::uint64_t max = window.load(std::memory_order_acquire);
+    const std::size_t start = preferred_index();
+    // Fast path: one attempt on the thread's preferred column.
+    const core::Probe first = try_push_at<kFront>(node, start, max);
+    if (first == core::Probe::kSuccess) [[likely]] return;
+    core::drive_window_sweep(
+        params_, window, start, max, first,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          return try_push_at<kFront>(node, i, m);
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          return flow<kFront>(columns_[i].flows.load(
+                     std::memory_order_acquire)) < m;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) {
+          return core::Certified::shift_to(m + params_.shift);
+        });
+  }
+
+  template <bool kFront>
+  std::optional<T> pop() {
+    std::atomic<std::uint64_t>& window = window_word<kFront>();
+    const std::uint64_t max = window.load(std::memory_order_acquire);
+    const std::size_t start = preferred_index();
+    std::optional<T> out;
+    const core::Probe first = try_pop_at<kFront>(out, start, max);
+    if (first == core::Probe::kSuccess) [[likely]] return out;
+    core::drive_window_sweep(
+        params_, window, start, max, first,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          return try_pop_at<kFront>(out, i, m);
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          const std::uint64_t word =
+              columns_[i].flows.load(std::memory_order_acquire);
+          return occupancy(word) > 0 && flow<kFront>(word) > m - params_.depth;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) { return certify_pop<kFront>(m); });
+    return out;
+  }
+
+  /// Pop-side certification: one flow-word scan deciding between "missed
+  /// an eligible column" (go there), "all empty" (report empty — unlike
+  /// the stack, end-flows have no floor the window could bottom out at,
+  /// so emptiness is certified by occupancy directly), and "non-empty
+  /// columns all below the band" (shift this end's window down) — so
+  /// empty columns can never pump the window while eligible work exists.
+  template <bool kFront>
+  core::Certified certify_pop(std::uint64_t max) {
+    bool any_nonempty = false;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      const std::uint64_t word =
+          columns_[i].flows.load(std::memory_order_acquire);
+      if (occupancy(word) == 0) continue;
+      if (flow<kFront>(word) > max - params_.depth) {
+        return core::Certified::restart_at(i);
+      }
+      any_nonempty = true;
+    }
+    if (!any_nonempty) return core::Certified::stop();
+    return core::Certified::shift_to(max - params_.shift);
+  }
+
+  /// One push attempt: dereference-free flow probe, then the exact
+  /// re-check under the column lock. A held lock reads as contention (hop
+  /// away, like a lost CAS); the window predicate is re-verified under the
+  /// lock because the flow may have moved while we spun.
+  template <bool kFront>
+  core::Probe try_push_at(Node* node, std::size_t i, std::uint64_t max) {
+    Column& column = columns_[i];
+    if (flow<kFront>(column.flows.load(std::memory_order_acquire)) >= max) {
+      return core::Probe::kIneligible;
+    }
+    if (!column.try_lock()) return core::Probe::kContended;
+    const std::uint64_t word = column.flows.load(std::memory_order_relaxed);
+    if (flow<kFront>(word) >= max) {
+      column.unlock();
+      return core::Probe::kIneligible;
+    }
+    if constexpr (kFront) {
+      node->next = column.front;
+      if (column.front != nullptr) {
+        column.front->prev = node;
+      } else {
+        column.back = node;
+      }
+      column.front = node;
+    } else {
+      node->prev = column.back;
+      if (column.back != nullptr) {
+        column.back->next = node;
+      } else {
+        column.front = node;
+      }
+      column.back = node;
+    }
+    column.flows.store(word + flow_delta<kFront>(+1),
+                       std::memory_order_release);
+    column.unlock();
+    preferred_index() = i;
+    return core::Probe::kSuccess;
+  }
+
+  template <bool kFront>
+  core::Probe try_pop_at(std::optional<T>& out, std::size_t i,
+                         std::uint64_t max) {
+    Column& column = columns_[i];
+    {
+      const std::uint64_t word =
+          column.flows.load(std::memory_order_acquire);
+      if (occupancy(word) == 0 || flow<kFront>(word) <= max - params_.depth) {
+        return core::Probe::kIneligible;
+      }
+    }
+    if (!column.try_lock()) return core::Probe::kContended;
+    const std::uint64_t word = column.flows.load(std::memory_order_relaxed);
+    if (occupancy(word) == 0 || flow<kFront>(word) <= max - params_.depth) {
+      column.unlock();
+      return core::Probe::kIneligible;
+    }
+    Node* node;
+    if constexpr (kFront) {
+      node = column.front;
+      column.front = node->next;
+      if (column.front != nullptr) {
+        column.front->prev = nullptr;
+      } else {
+        column.back = nullptr;
+      }
+    } else {
+      node = column.back;
+      column.back = node->prev;
+      if (column.back != nullptr) {
+        column.back->next = nullptr;
+      } else {
+        column.front = nullptr;
+      }
+    }
+    column.flows.store(word - flow_delta<kFront>(+1),
+                       std::memory_order_release);
+    column.unlock();
+    out = std::move(node->value);
+    delete node;
+    preferred_index() = i;
+    return core::Probe::kSuccess;
+  }
+
+  /// The packed-word increment that moves this end's flow by one.
+  template <bool kFront>
+  static constexpr std::uint64_t flow_delta(int) {
+    return kFront ? (std::uint64_t{1} << 32) : std::uint64_t{1};
+  }
+
+  /// Per-(thread, instance) preferred column shared by all four operations
+  /// (pop locality follows push), keyed like the stack's (see
+  /// core::InstanceLocal).
+  std::size_t& preferred_index() {
+    thread_local core::InstanceLocal<std::size_t> preferred;
+    std::size_t& index = preferred.get(id_);
+    if (index >= params_.width) [[unlikely]] index = 0;
+    return index;
+  }
+
+  alignas(64) core::TwoDParams params_;
+  std::unique_ptr<Column[]> columns_;
+  std::atomic<std::uint64_t> front_max_{0};
+  std::atomic<std::uint64_t> back_max_{0};
+  const std::uint64_t id_ = reclaim::detail::next_instance_id();
+};
+
+}  // namespace r2d

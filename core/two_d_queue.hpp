@@ -7,17 +7,25 @@
 // atomically with the corresponding CAS, no side counters. Both windows
 // only move up, by `shift`, after a certified failed sweep: enqueues are
 // eligible on a column whose enqueue count is below put_max; dequeues on a
-// non-empty column whose dequeue count is below get_max.
+// non-empty column whose dequeue count is below get_max. The get window is
+// additionally clamped by enqueue progress when it shifts, so the FIFO
+// rank-error bound stays tight (see certify_dequeue). The
+// probe/hop/certify/shift loop itself is the shared engine in
+// core/window.hpp.
 // With width = 1 every operation is always eligible and the structure is a
 // plain strict MS queue.
 //
-// Unlike the stack columns, the queue keeps its counts in the nodes rather
-// than packed into the head/tail words: they are cumulative enqueue /
-// dequeue serials (not occupancies), so they outgrow any fixed-width
-// packed field after 2^16 operations per column. Queue eligibility checks
-// therefore still dereference through the reclaimer.
+// The node serials are cumulative, so unlike the stack they cannot live in
+// a 16-bit packed head field. Instead each column publishes a monotone
+// *lower bound* on its enqueue serial in a plain 64-bit word next to the
+// head/tail pointers (enq_serial): enqueue eligibility probes and put-side
+// certification scans read that word with no dereference — and therefore
+// no reclaimer guard — exactly like the stacks' packed heads; only the
+// operation CASes themselves still walk nodes under the guard. See
+// DESIGN.md §8 for why a stale lower bound is sound.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -25,7 +33,8 @@
 #include <utility>
 
 #include "core/params.hpp"
-#include "core/substack.hpp"  // hop_rand, InstanceLocal
+#include "core/substack.hpp"  // InstanceLocal
+#include "core/window.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
@@ -42,6 +51,14 @@ class TwoDQueue {
   struct alignas(64) Column {
     std::atomic<Node*> head{nullptr};  ///< dummy node; its index = #dequeued
     std::atomic<Node*> tail{nullptr};
+    /// Published lower bound on this column's enqueue serial (tail->index).
+    /// Written with plain release stores — concurrent writers may install
+    /// values out of order, but every value ever stored *was* the serial of
+    /// a reachable tail, so the word never exceeds the true serial. That
+    /// one-sided guarantee is all eligibility and certification need: a
+    /// stale low value only sends a probe to re-verify exactly (and
+    /// refresh the word); a value >= max proves the column ineligible.
+    std::atomic<std::uint64_t> enq_serial{0};
   };
 
  public:
@@ -81,136 +98,59 @@ class TwoDQueue {
     auto guard = reclaimer_.pin();
     Node* node = new Node;
     node->value = std::move(value);
-    std::uint64_t max = put_max_.load(std::memory_order_acquire);
-    std::size_t index = preferred_enq_index() % params_.width;
-    unsigned failed = 0;
-    while (true) {
-      {
-        const std::uint64_t cur = put_max_.load(std::memory_order_acquire);
-        if (cur != max) {
-          max = cur;
-          failed = 0;
-        }
-      }
-      Column& column = columns_[index];
-      Node* tail = guard.protect(column.tail, 0);
-      Node* next = tail->next.load(std::memory_order_acquire);
-      if (next != nullptr) {
-        // Help the lagging tail forward, then retry the same column.
-        column.tail.compare_exchange_strong(tail, next,
-                                            std::memory_order_release,
-                                            std::memory_order_relaxed);
-        continue;
-      }
-      if (tail->index < max) {
-        node->index = tail->index + 1;
-        Node* expected = nullptr;
-        if (tail->next.compare_exchange_strong(expected, node,
-                                               std::memory_order_release,
-                                               std::memory_order_relaxed)) {
-          column.tail.compare_exchange_strong(tail, node,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed);
-          preferred_enq_index() = index;
-          return;
-        }
-        failed = 0;
-        index = hop(index);
-        continue;
-      }
-      if (++failed >= params_.width) {
-        // Random/hybrid probes can revisit columns; certify the failed
-        // sweep with a read-only scan before moving the window (the
-        // monotonic shift rule — same as the stack's kRandomOnly path).
-        const std::size_t eligible = scan_enqueue_eligible(guard, max);
-        if (eligible != params_.width) {
-          index = eligible;
-          failed = 0;
-          continue;
-        }
-        std::uint64_t expected = max;
-        put_max_.compare_exchange_strong(expected, max + params_.shift,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
-        max = put_max_.load(std::memory_order_acquire);
-        failed = 0;
-        continue;
-      }
-      index = next_index(index, failed);
-    }
+    const std::uint64_t max = put_max_.load(std::memory_order_acquire);
+    const std::size_t start = preferred_enq_index() % params_.width;
+    // Fast path: one attempt on the thread's preferred column.
+    const core::Probe first = try_enqueue_at(guard, node, start, max);
+    if (first == core::Probe::kSuccess) [[likely]] return;
+    core::drive_window_sweep(
+        params_, put_max_, start, max, first,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          return try_enqueue_at(guard, node, i, m);
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          // Dereference-free: may say "eligible" on a stale lower bound
+          // (the attempt re-verifies exactly and refreshes the word), but
+          // a word >= m proves ineligibility.
+          return columns_[i].enq_serial.load(std::memory_order_acquire) < m;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) { return certify_enqueue(m); });
   }
 
   std::optional<T> dequeue() {
     auto guard = reclaimer_.pin();
-    std::uint64_t max = get_max_.load(std::memory_order_acquire);
-    std::size_t index = preferred_deq_index() % params_.width;
-    unsigned failed = 0;
-    while (true) {
-      {
-        const std::uint64_t cur = get_max_.load(std::memory_order_acquire);
-        if (cur != max) {
-          max = cur;
-          failed = 0;
-        }
-      }
-      Column& column = columns_[index];
-      Node* head = guard.protect(column.head, 0);
-      Node* next = guard.protect(head->next, 1);
-      {
-        // MS-queue invariant: never move head past a node the tail still
-        // references — a retired dummy must be unreachable from both ends
-        // before hazard scans may free it.
-        Node* tail = column.tail.load(std::memory_order_acquire);
-        if (head == tail && next != nullptr) {
-          column.tail.compare_exchange_strong(tail, next,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed);
-        }
-      }
-      if (next != nullptr && head->index < max) {
-        // head->index is this column's dequeue count; winning the CAS both
-        // takes the item and advances the count in one step, so the
-        // eligibility check cannot be overtaken by concurrent dequeuers.
-        if (column.head.compare_exchange_strong(head, next,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_relaxed)) {
-          preferred_deq_index() = index;
-          T value = std::move(next->value);
-          guard.retire(head);
-          return value;
-        }
-        failed = 0;
-        index = hop(index);
-        continue;
-      }
-      if (++failed >= params_.width) {
-        // Certified failed sweep: one read-only scan decides between
-        // "missed an eligible column" (go there), "all empty" (report
-        // empty), and "non-empty columns all at the window" (shift) — so
-        // empty columns can never pump the window while eligible work
-        // exists.
-        const DequeueScan scan = scan_dequeue(guard, max);
-        if (scan.eligible != params_.width) {
-          index = scan.eligible;
-          failed = 0;
-          continue;
-        }
-        if (!scan.any_nonempty) return std::nullopt;
-        std::uint64_t expected = max;
-        get_max_.compare_exchange_strong(expected, max + params_.shift,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
-        max = get_max_.load(std::memory_order_acquire);
-        failed = 0;
-        continue;
-      }
-      index = next_index(index, failed);
-    }
+    const std::uint64_t max = get_max_.load(std::memory_order_acquire);
+    const std::size_t start = preferred_deq_index() % params_.width;
+    std::optional<T> out;
+    const core::Probe first = try_dequeue_at(guard, out, start, max);
+    if (first == core::Probe::kSuccess) [[likely]] return out;
+    core::drive_window_sweep(
+        params_, get_max_, start, max, first,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          return try_dequeue_at(guard, out, i, m);
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          Node* head = guard.protect(columns_[i].head, 0);
+          return head->next.load(std::memory_order_acquire) != nullptr &&
+                 head->index < m;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) { return certify_dequeue(guard, m); });
+    return out;
   }
 
   bool empty() {
     auto guard = reclaimer_.pin();
-    return certify_all_empty(guard);
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Node* head = guard.protect(columns_[i].head, 0);
+      if (head->next.load(std::memory_order_acquire) != nullptr) return false;
+    }
+    return true;
   }
 
   /// Racy sum of (enqueued - dequeued) per column.
@@ -225,69 +165,142 @@ class TwoDQueue {
     return total;
   }
 
- private:
-  /// Read-only certification scan for enqueues: index of an eligible
-  /// column, or width when every column is at the window.
-  template <typename Guard>
-  std::size_t scan_enqueue_eligible(Guard& guard, std::uint64_t max) {
-    for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* tail = guard.protect(columns_[i].tail, 0);
-      if (tail->index < max) return i;
-    }
-    return params_.width;
+  /// Debug/test accessors for the two window words (racy reads).
+  std::uint64_t put_window() const {
+    return put_max_.load(std::memory_order_acquire);
+  }
+  std::uint64_t get_window() const {
+    return get_max_.load(std::memory_order_acquire);
   }
 
-  struct DequeueScan {
-    std::size_t eligible;  ///< width when no column is dequeue-eligible
-    bool any_nonempty;
-  };
+ private:
+  /// Refresh a column's published enqueue-serial lower bound. A plain
+  /// store is enough (see Column::enq_serial); skip it when the word is
+  /// already current so probes don't write shared memory.
+  static void publish_enq_serial(Column& column, std::uint64_t serial) {
+    if (column.enq_serial.load(std::memory_order_relaxed) < serial) {
+      column.enq_serial.store(serial, std::memory_order_release);
+    }
+  }
 
+  /// One enqueue attempt on column `i` under put window `max`: the
+  /// dereference-free pre-check, then the exact check on the protected
+  /// tail's serial, then the MS-queue link CAS. Helps a lagging tail
+  /// forward (retrying the same column) and keeps enq_serial fresh so
+  /// certification always converges.
   template <typename Guard>
-  DequeueScan scan_dequeue(Guard& guard, std::uint64_t max) {
-    DequeueScan scan{params_.width, false};
-    for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* head = guard.protect(columns_[i].head, 0);
-      if (head->next.load(std::memory_order_acquire) == nullptr) continue;
-      scan.any_nonempty = true;
-      if (head->index < max) {
-        scan.eligible = i;
-        return scan;
+  core::Probe try_enqueue_at(Guard& guard, Node* node, std::size_t i,
+                             std::uint64_t max) {
+    Column& column = columns_[i];
+    if (column.enq_serial.load(std::memory_order_acquire) >= max) {
+      return core::Probe::kIneligible;
+    }
+    while (true) {
+      Node* tail = guard.protect(column.tail, 0);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        // Help the lagging tail forward, then retry the same column.
+        column.tail.compare_exchange_strong(tail, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+        continue;
+      }
+      publish_enq_serial(column, tail->index);
+      if (tail->index >= max) return core::Probe::kIneligible;
+      node->index = tail->index + 1;
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+        column.tail.compare_exchange_strong(tail, node,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
+        publish_enq_serial(column, node->index);
+        preferred_enq_index() = i;
+        return core::Probe::kSuccess;
+      }
+      return core::Probe::kContended;
+    }
+  }
+
+  /// One dequeue attempt on column `i` under get window `max`. Winning the
+  /// head CAS both takes the item and advances the dequeue count in one
+  /// step, so the eligibility check cannot be overtaken by concurrent
+  /// dequeuers.
+  template <typename Guard>
+  core::Probe try_dequeue_at(Guard& guard, std::optional<T>& out,
+                             std::size_t i, std::uint64_t max) {
+    Column& column = columns_[i];
+    Node* head = guard.protect(column.head, 0);
+    Node* next = guard.protect(head->next, 1);
+    {
+      // MS-queue invariant: never move head past a node the tail still
+      // references — a retired dummy must be unreachable from both ends
+      // before hazard scans may free it.
+      Node* tail = column.tail.load(std::memory_order_acquire);
+      if (head == tail && next != nullptr) {
+        column.tail.compare_exchange_strong(tail, next,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed);
       }
     }
-    return scan;
+    if (next == nullptr || head->index >= max) return core::Probe::kIneligible;
+    if (column.head.compare_exchange_strong(head, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      preferred_deq_index() = i;
+      out = std::move(next->value);
+      guard.retire(head);
+      return core::Probe::kSuccess;
+    }
+    return core::Probe::kContended;
   }
 
-  template <typename Guard>
-  bool certify_all_empty(Guard& guard) {
+  /// Put-side certification: one dereference-free scan of the published
+  /// serial words. A stale word below the window redirects the sweep there
+  /// (the attempt verifies exactly and refreshes it), so the scan can only
+  /// pass once every column's true serial reached the window.
+  core::Certified certify_enqueue(std::uint64_t max) {
     for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* head = guard.protect(columns_[i].head, 0);
-      if (head->next.load(std::memory_order_acquire) != nullptr) return false;
+      if (columns_[i].enq_serial.load(std::memory_order_acquire) < max) {
+        return core::Certified::restart_at(i);
+      }
     }
-    return true;
+    return core::Certified::shift_to(max + params_.shift);
   }
 
-  std::size_t hop(std::size_t index) const {
-    if (params_.hop_mode == core::HopMode::kRoundRobinOnly) {
-      return (index + 1) % params_.width;
+  /// Get-side certification: one guarded scan deciding between "missed an
+  /// eligible column" (go there), "all empty" (report empty), and
+  /// "non-empty columns all at the window" (shift) — so empty columns can
+  /// never pump the window while eligible work exists. The shift target is
+  /// clamped by enqueue progress: without the clamp, a shift of `shift`
+  /// past a column holding a single just-enqueued item inflates get_max
+  /// far beyond any item's serial, and later dequeues run unconstrained by
+  /// the window — the FIFO rank-error bound goes loose. A non-empty column
+  /// always proves progress >= max + 1 (its head serial certified >= max
+  /// and at least one more item was enqueued on top), so the clamped
+  /// target still moves the window forward.
+  template <typename Guard>
+  core::Certified certify_dequeue(Guard& guard, std::uint64_t max) {
+    bool any_nonempty = false;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      Column& column = columns_[i];
+      Node* head = guard.protect(column.head, 0);
+      if (head->next.load(std::memory_order_acquire) == nullptr) continue;
+      if (head->index < max) return core::Certified::restart_at(i);
+      any_nonempty = true;
+      // Help the published serial forward so the clamp below can use it.
+      Node* tail = guard.protect(column.tail, 1);
+      publish_enq_serial(column, tail->index);
     }
-    return static_cast<std::size_t>(core::hop_rand()) % params_.width;
-  }
-
-  std::size_t next_index(std::size_t index, unsigned failed) const {
-    switch (params_.hop_mode) {
-      case core::HopMode::kRoundRobinOnly:
-        return (index + 1) % params_.width;
-      case core::HopMode::kRandomOnly:
-        return static_cast<std::size_t>(core::hop_rand()) % params_.width;
-      case core::HopMode::kHybrid:
-      default:
-        // Random early, consecutive once the sweep is past half the width
-        // (cheap certification, like the stack's hybrid mode).
-        return failed * 2 >= params_.width
-                   ? (index + 1) % params_.width
-                   : static_cast<std::size_t>(core::hop_rand()) %
-                         params_.width;
+    if (!any_nonempty) return core::Certified::stop();
+    std::uint64_t enq_progress = 0;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      enq_progress = std::max(
+          enq_progress, columns_[i].enq_serial.load(std::memory_order_acquire));
     }
+    return core::Certified::shift_to(
+        std::max(max + 1, std::min(max + params_.shift, enq_progress)));
   }
 
   // Per-(thread, instance) preferred columns, keyed by this instance's

@@ -8,6 +8,9 @@
 // — the monotonic window-shift rule: push shifts the window up by
 // `shift`, pop shifts it down, never past depth. Theorem 1 then bounds the
 // rank error by k = (2*shift + depth) * (width - 1) (see core/params.hpp).
+// The probe/hop/certify/shift loop itself is the shared engine in
+// core/window.hpp; this file only supplies the stack's two eligibility
+// predicates and CAS attempts.
 //
 // Column heads pack the node pointer with the column count in one word
 // (core/substack.hpp), so every eligibility check is a single atomic load
@@ -28,6 +31,7 @@
 
 #include "core/params.hpp"
 #include "core/substack.hpp"
+#include "core/window.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"
 
@@ -76,10 +80,10 @@ class TwoDStack {
           [[likely]] {
         return;
       }
-      push_slow(node, max, index, /*contended=*/true);
+      push_slow(node, max, index, core::Probe::kContended);
       return;
     }
-    push_slow(node, max, index, /*contended=*/false);
+    push_slow(node, max, index, core::Probe::kIneligible);
   }
 
   std::optional<T> pop() {
@@ -92,9 +96,9 @@ class TwoDStack {
         columns_[index].head.load(std::memory_order_acquire);
     if (word != 0 && core::head_count(word) > low) [[likely]] {
       if (auto value = try_pop_at(index, low)) [[likely]] return value;
-      return pop_slow(max, index, /*contended=*/true);
+      return pop_slow(max, index, core::Probe::kContended);
     }
-    return pop_slow(max, index, /*contended=*/false);
+    return pop_slow(max, index, core::Probe::kIneligible);
   }
 
   /// True when every column's head was empty at the moment it was read.
@@ -152,166 +156,73 @@ class TwoDStack {
   __attribute__((noinline, cold)) void push_slow(Node* node,
                                                  std::uint64_t max,
                                                  std::size_t start,
-                                                 bool contended) {
-    Sweep sweep(params_, start);
-    if (contended) {
-      sweep.on_cas_fail();
-    } else {
-      sweep.on_ineligible();
-    }
-    while (true) {
-      refresh_window(max, sweep);
-      Column& column = columns_[sweep.index];
-      std::uint64_t word = column.head.load(std::memory_order_acquire);
-      if (core::head_count(word) < max) {
-        node->next = core::head_node<T>(word);
-        if (column.head.compare_exchange_strong(
-                word,
-                core::pack_head(node, core::packed_count_after_push(word)),
-                std::memory_order_release, std::memory_order_relaxed)) {
-          preferred_index() = sweep.index;
-          return;
-        }
-        sweep.on_cas_fail();
-        continue;
-      }
-      sweep.on_ineligible();
-      if (needs_certification(sweep) &&
-          certify_failed_sweep(sweep,
-                               [max](std::uint64_t c) { return c < max; })) {
-        shift_window(max, max + params_.shift);
-        sweep.reset();
-      }
-    }
+                                                 core::Probe seed) {
+    core::drive_window_sweep(
+        params_, window_max_, start, max, seed,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          Column& column = columns_[i];
+          std::uint64_t word = column.head.load(std::memory_order_acquire);
+          if (core::head_count(word) >= m) return core::Probe::kIneligible;
+          node->next = core::head_node<T>(word);
+          if (column.head.compare_exchange_strong(
+                  word,
+                  core::pack_head(node, core::packed_count_after_push(word)),
+                  std::memory_order_release, std::memory_order_relaxed)) {
+            preferred_index() = i;
+            return core::Probe::kSuccess;
+          }
+          return core::Probe::kContended;
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          // A pure packed-word scan — no guard.
+          return core::head_count(
+                     columns_[i].head.load(std::memory_order_acquire)) < m;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) { return core::Certified::shift_to(m + params_.shift); });
   }
 
   __attribute__((noinline, cold)) std::optional<T> pop_slow(
-      std::uint64_t max, std::size_t start, bool contended) {
-    Sweep sweep(params_, start);
-    if (contended) {
-      sweep.on_cas_fail();
-    } else {
-      sweep.on_ineligible();
-    }
-    while (true) {
-      refresh_window(max, sweep);
-      const std::uint64_t low = max - params_.depth;  // max >= depth invariant
-      const std::uint64_t word =
-          columns_[sweep.index].head.load(std::memory_order_acquire);
-      if (word != 0 && core::head_count(word) > low) {
-        if (auto value = try_pop_at(sweep.index, low)) {
-          preferred_index() = sweep.index;
-          return value;
-        }
-        sweep.on_cas_fail();
-        continue;
-      }
-      sweep.on_ineligible();
-      if (needs_certification(sweep) &&
-          certify_failed_sweep(sweep, [low](std::uint64_t c) {
-            return c > low;
-          })) {
-        if (low == 0) {
-          // Window is already at the bottom and every column certified as
-          // at-or-below it, i.e. empty (count == 0 <=> empty column, which
-          // the saturation protocol preserves).
-          return std::nullopt;
-        }
-        shift_window(max, std::max(params_.depth, max - params_.shift));
-        sweep.reset();
-      }
-    }
-  }
-
-  /// Per-(thread, hop-mode) sweep state. Hybrid does params.width random
-  /// hops, then a round-robin streak that certifies; random-only never
-  /// certifies by streak and instead triggers a read-only verify scan;
-  /// round-robin certifies once the streak covers every column.
-  struct Sweep {
-    const core::TwoDParams& p;
-    std::size_t index;
-    unsigned random_probes = 0;
-    unsigned streak = 0;
-    bool round_robin;
-
-    Sweep(const core::TwoDParams& params, std::size_t start)
-        : p(params),
-          index(start % params.width),
-          round_robin(params.hop_mode == core::HopMode::kRoundRobinOnly) {}
-
-    void reset() {
-      random_probes = 0;
-      streak = 0;
-      round_robin = p.hop_mode == core::HopMode::kRoundRobinOnly;
-    }
-
-    void on_ineligible() {
-      if (round_robin) {
-        ++streak;
-        index = (index + 1) % p.width;
-        return;
-      }
-      ++random_probes;
-      index = static_cast<std::size_t>(core::hop_rand()) % p.width;
-      if (p.hop_mode == core::HopMode::kHybrid && random_probes >= p.width) {
-        round_robin = true;
-        streak = 0;
-      }
-    }
-
-    void on_cas_fail() {
-      // Contention: hop away (randomly, unless round-robin-only) and start
-      // the certification over — the observed column was eligible.
-      streak = 0;
-      random_probes = 0;
-      if (p.hop_mode == core::HopMode::kRoundRobinOnly) {
-        index = (index + 1) % p.width;
-      } else {
-        round_robin = false;
-        index = static_cast<std::size_t>(core::hop_rand()) % p.width;
-      }
-    }
-  };
-
-  static bool needs_certification(const Sweep& sweep) {
-    if (sweep.p.hop_mode == core::HopMode::kRandomOnly) {
-      return sweep.random_probes >= sweep.p.width;
-    }
-    return sweep.round_robin && sweep.streak >= sweep.p.width;
-  }
-
-  /// Certify that no column is eligible. Streak-based modes already proved
-  /// it; random-only pays a full read-only scan here (it cannot certify
-  /// from random probes). A pure packed-word scan — no guard. Returns
-  /// false after repositioning the sweep when the scan finds an eligible
-  /// column.
-  template <typename Eligible>
-  bool certify_failed_sweep(Sweep& sweep, Eligible eligible) {
-    if (sweep.p.hop_mode != core::HopMode::kRandomOnly) return true;
-    for (std::size_t i = 0; i < params_.width; ++i) {
-      const std::uint64_t count =
-          core::head_count(columns_[i].head.load(std::memory_order_acquire));
-      if (eligible(count)) {
-        sweep.index = i;
-        sweep.random_probes = 0;
-        return false;
-      }
-    }
-    return true;
-  }
-
-  void refresh_window(std::uint64_t& max, Sweep& sweep) {
-    const std::uint64_t cur = window_max_.load(std::memory_order_acquire);
-    if (cur != max) {
-      max = cur;
-      sweep.reset();
-    }
-  }
-
-  void shift_window(std::uint64_t expected, std::uint64_t desired) {
-    window_max_.compare_exchange_strong(expected, desired,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_relaxed);
+      std::uint64_t max, std::size_t start, core::Probe seed) {
+    std::optional<T> out;
+    core::drive_window_sweep(
+        params_, window_max_, start, max, seed,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          const std::uint64_t low = m - params_.depth;  // max >= depth
+          const std::uint64_t word =
+              columns_[i].head.load(std::memory_order_acquire);
+          if (word == 0 || core::head_count(word) <= low) {
+            return core::Probe::kIneligible;
+          }
+          if ((out = try_pop_at(i, low))) {
+            preferred_index() = i;
+            return core::Probe::kSuccess;
+          }
+          return core::Probe::kContended;
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          // count > low implies count >= 1, and count == 0 <=> empty
+          // survives saturation, so the band check alone suffices.
+          return core::head_count(
+                     columns_[i].head.load(std::memory_order_acquire)) >
+                 m - params_.depth;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) {
+          if (m == params_.depth) {
+            // Window is already at the bottom and every column certified
+            // as at-or-below it, i.e. empty (count == 0 <=> empty column,
+            // which the saturation protocol preserves).
+            return core::Certified::stop();
+          }
+          return core::Certified::shift_to(
+              std::max(params_.depth, m - params_.shift));
+        });
+    return out;
   }
 
   /// Per-(thread, instance) preferred column, keyed by this instance's

@@ -1,0 +1,235 @@
+// The shared window-sweep engine: one implementation of the 2D framework's
+// probe/hop/certify/shift loop, instantiated by every windowed container in
+// this repo (TwoDStack pushes and pops, TwoDQueue puts and gets, TwoDDeque
+// operations at either end).
+//
+// The paper's containers all share the same control structure: probe a
+// column for eligibility under the current window, hop between columns per
+// HopMode after an ineligible probe or a lost CAS, and only move the window
+// — monotonically, by `shift` — after a *certified failed sweep*, i.e.
+// proof that every column was ineligible under an unchanged window value.
+// TwoDStack and TwoDQueue used to hand-roll this loop separately, and the
+// certification bugs PR 1 fixed crept in exactly through that duplication;
+// this header is the single copy.
+//
+// What stays with the container (the three callbacks of drive_window_sweep):
+//   * how a column is probed and operated on (`attempt`),
+//   * how eligibility is re-checked read-only (`eligible`, used by the
+//     random-only verify scan),
+//   * what a certified failed sweep means (`certified`: shift the window to
+//     a new value, redirect to a column the scan found eligible, or stop —
+//     e.g. a pop that certified the whole structure empty).
+// What the engine owns: the sweep-state machine (hop policy, contention
+// restarts, streak counting), the certification thresholds, the random-only
+// verify scan, window refresh on concurrent shifts, and the monotonic
+// window-shift CAS itself.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "core/substack.hpp"  // hop_rand
+
+namespace r2d::core {
+
+/// Result of one column probe inside a sweep.
+enum class Probe : std::uint8_t {
+  kSuccess,     ///< the operation completed on this column
+  kIneligible,  ///< column outside the window (or empty) — advance the sweep
+  kContended    ///< lost a race on an eligible column — restart certification
+};
+
+/// A container's verdict after a certified failed sweep (every column
+/// proven ineligible under window value `max`).
+struct Certified {
+  enum class Kind : std::uint8_t {
+    kShift,    ///< propose `target` as the new window value (monotonic rule)
+    kRestart,  ///< the certification scan found column `index` eligible
+    kStop      ///< terminal state observed (e.g. pop of an empty structure)
+  };
+
+  Kind kind;
+  std::uint64_t target = 0;  ///< kShift: proposed window value
+  std::size_t index = 0;     ///< kRestart: column to re-probe
+
+  static constexpr Certified shift_to(std::uint64_t target) {
+    return Certified{Kind::kShift, target, 0};
+  }
+  static constexpr Certified restart_at(std::size_t index) {
+    return Certified{Kind::kRestart, 0, index};
+  }
+  static constexpr Certified stop() { return Certified{Kind::kStop, 0, 0}; }
+};
+
+/// Per-operation sweep state: which column to probe next, and how much of a
+/// failed sweep has been certified so far.
+///
+/// Hop policy per HopMode (DESIGN.md §9): kHybrid does `width` random hops,
+/// then switches to a round-robin streak; kRoundRobinOnly streaks from the
+/// start; kRandomOnly hops randomly forever. A streak that covers `width`
+/// consecutive ineligible probes under an unchanged window certifies the
+/// failed sweep by itself; random probes can revisit columns, so in
+/// kRandomOnly `width` failed probes only make certification *due* — the
+/// engine then pays a read-only verify scan. A lost CAS (contention) means
+/// the observed column *was* eligible, so it restarts certification from
+/// scratch.
+class SweepState {
+ public:
+  SweepState(const TwoDParams& params, std::size_t start)
+      : p_(params),
+        index_(start % params.width),
+        round_robin_(params.hop_mode == HopMode::kRoundRobinOnly) {}
+
+  std::size_t index() const { return index_; }
+
+  void reset() {
+    random_probes_ = 0;
+    streak_ = 0;
+    round_robin_ = p_.hop_mode == HopMode::kRoundRobinOnly;
+  }
+
+  /// Certification restarts at `index` (a scan found it eligible).
+  void restart_at(std::size_t index) {
+    reset();
+    index_ = index % p_.width;
+  }
+
+  void on_ineligible() {
+    if (round_robin_) {
+      ++streak_;
+      index_ = (index_ + 1) % p_.width;
+      return;
+    }
+    ++random_probes_;
+    index_ = static_cast<std::size_t>(hop_rand()) % p_.width;
+    if (p_.hop_mode == HopMode::kHybrid && random_probes_ >= p_.width) {
+      round_robin_ = true;
+      streak_ = 0;
+    }
+  }
+
+  void on_contended() {
+    // Contention: hop away (randomly, unless round-robin-only) and start
+    // the certification over — the observed column was eligible.
+    streak_ = 0;
+    random_probes_ = 0;
+    if (p_.hop_mode == HopMode::kRoundRobinOnly) {
+      index_ = (index_ + 1) % p_.width;
+    } else {
+      round_robin_ = false;
+      index_ = static_cast<std::size_t>(hop_rand()) % p_.width;
+    }
+  }
+
+  /// True once this sweep has (for streak modes) proven, or (for
+  /// kRandomOnly) made due, a full failed sweep.
+  bool certification_due() const {
+    if (p_.hop_mode == HopMode::kRandomOnly) {
+      return random_probes_ >= p_.width;
+    }
+    return round_robin_ && streak_ >= p_.width;
+  }
+
+ private:
+  const TwoDParams& p_;
+  std::size_t index_;
+  unsigned random_probes_ = 0;
+  unsigned streak_ = 0;
+  bool round_robin_;
+};
+
+/// Drive one operation's sweep to completion.
+///
+/// `window` is the operation's window counter (e.g. the stack's
+/// `window_max_`, the queue's `put_max_` or `get_max_`); `start` the column
+/// to sweep from (typically the thread's preferred column, whose fast-path
+/// probe already failed with `seed`); `max` the window value that fast path
+/// observed.
+///
+/// Callback contract:
+///   Probe attempt(std::size_t index, std::uint64_t max)
+///     One probe of `index` under window `max`: check eligibility exactly
+///     and try the operation's CAS. On kSuccess the operation's result must
+///     have been captured by the callback (the engine returns true).
+///   bool eligible(std::size_t index, std::uint64_t max)
+///     Read-only eligibility check used by the kRandomOnly verify scan; may
+///     err toward true (attempt re-checks exactly) but must never report a
+///     genuinely eligible column as ineligible.
+///   Certified certified(std::uint64_t max)
+///     Called after a certified failed sweep; decides shift / redirect /
+///     stop. A kShift target must be monotonic in the window's direction of
+///     travel and is installed with a single CAS — losing that race is
+///     benign (some other thread moved the same window; the sweep restarts
+///     under the new value).
+///
+/// Returns true when `attempt` reported kSuccess, false when `certified`
+/// stopped the sweep. The engine re-reads `window` before every probe so a
+/// concurrent shift resets the sweep (certification is only valid under an
+/// unchanged window value).
+template <typename Attempt, typename Eligible, typename CertifiedFn>
+bool drive_window_sweep(const TwoDParams& p,
+                        std::atomic<std::uint64_t>& window, std::size_t start,
+                        std::uint64_t max, Probe seed, Attempt&& attempt,
+                        Eligible&& eligible, CertifiedFn&& certified) {
+  SweepState sweep(p, start);
+  if (seed == Probe::kContended) {
+    sweep.on_contended();
+  } else {
+    sweep.on_ineligible();
+  }
+  while (true) {
+    {
+      const std::uint64_t cur = window.load(std::memory_order_acquire);
+      if (cur != max) {
+        max = cur;
+        sweep.reset();
+      }
+    }
+    switch (attempt(sweep.index(), max)) {
+      case Probe::kSuccess:
+        return true;
+      case Probe::kContended:
+        sweep.on_contended();
+        continue;
+      case Probe::kIneligible:
+        break;
+    }
+    sweep.on_ineligible();
+    if (!sweep.certification_due()) continue;
+    if (p.hop_mode == HopMode::kRandomOnly) {
+      // Random probes can revisit columns, so the sweep alone proves
+      // nothing: verify with a read-only scan before consulting the
+      // container, and resume at any eligible column it finds.
+      bool redirected = false;
+      for (std::size_t i = 0; i < p.width; ++i) {
+        if (eligible(i, max)) {
+          sweep.restart_at(i);
+          redirected = true;
+          break;
+        }
+      }
+      if (redirected) continue;
+    }
+    const Certified c = certified(max);
+    switch (c.kind) {
+      case Certified::Kind::kStop:
+        return false;
+      case Certified::Kind::kRestart:
+        sweep.restart_at(c.index);
+        continue;
+      case Certified::Kind::kShift: {
+        std::uint64_t expected = max;
+        window.compare_exchange_strong(expected, c.target,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);
+        max = window.load(std::memory_order_acquire);
+        sweep.reset();
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace r2d::core

@@ -6,9 +6,10 @@
 // time. Replaying the ticket-ordered log against an ideal structure then
 // yields each pop's rank error: for LIFO, the number of still-live items
 // pushed more recently than the popped one (0 for a strict stack); for
-// FIFO, the number of still-live items enqueued earlier. The replay uses a
-// Fenwick tree over push order, so a multi-million-event log replays in
-// O(n log n).
+// FIFO, the number of still-live items enqueued earlier; for a deque, the
+// popped item's distance from whichever end the pop used (each event's
+// `front` flag records the end). The replay uses a Fenwick tree over push
+// order, so a multi-million-event log replays in O(n log n).
 //
 // The ticket interleaving approximates the linearization, which is the
 // standard methodology for measuring relaxed-structure quality; the
@@ -28,6 +29,9 @@ struct Event {
   std::uint64_t ticket;
   std::uint64_t label;
   bool is_push;
+  /// Which end the operation used; only meaningful under Order::kDeque
+  /// (LIFO/FIFO replays ignore it).
+  bool front = false;
 };
 
 class ErrorStats {
@@ -67,12 +71,66 @@ class Fenwick {
 
 }  // namespace detail
 
-enum class Order { kLifo, kFifo };
+enum class Order { kLifo, kFifo, kDeque };
 
 struct ReplayResult {
   ErrorStats errors;
   std::uint64_t unknown_labels = 0;
 };
+
+namespace detail {
+
+/// Deque replay: items live on a line, front pushes extending it leftward
+/// and back pushes rightward; a pop's rank error is the number of
+/// still-live items strictly between the popped item and the end the pop
+/// used (0 for every pop of a strict deque replayed single-threaded).
+/// Positions are preassigned by counting front pushes, so one Fenwick tree
+/// over positions answers both ends' distances.
+inline ReplayResult replay_deque(const std::vector<Event>& events,
+                                 bool truncated) {
+  std::size_t pushes = 0;
+  std::size_t front_pushes = 0;
+  for (const Event& e : events) {
+    if (e.is_push) {
+      ++pushes;
+      front_pushes += e.front ? 1 : 0;
+    }
+  }
+
+  ReplayResult result;
+  Fenwick live(pushes);
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(pushes);
+  std::size_t next_front = front_pushes;      // assigned descending: 1-based
+  std::size_t next_back = front_pushes + 1;   // assigned ascending
+  std::int64_t alive = 0;
+  for (const Event& e : events) {
+    if (e.is_push) {
+      const std::size_t idx = e.front ? next_front-- : next_back++;
+      index_of[e.label] = idx;
+      live.add(idx, 1);
+      ++alive;
+      continue;
+    }
+    const auto it = index_of.find(e.label);
+    if (it == index_of.end()) {
+      if (!truncated) ++result.unknown_labels;
+      continue;
+    }
+    const std::size_t idx = it->second;
+    const std::int64_t below = live.prefix(idx);  // includes the item
+    const double error = e.front
+                             ? static_cast<double>(below - 1)
+                             : static_cast<double>(alive - below);
+    result.errors.add(error);
+    live.add(idx, -1);
+    --alive;
+    index_of.erase(it);
+  }
+  return result;
+}
+
+}  // namespace detail
 
 /// Replay a ticket-ordered event log. `truncated` suppresses unknown-label
 /// accounting (a truncated log legitimately misses pushes).
@@ -80,6 +138,7 @@ inline ReplayResult replay(std::vector<Event> events, Order order,
                            bool truncated = false) {
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.ticket < b.ticket; });
+  if (order == Order::kDeque) return detail::replay_deque(events, truncated);
   std::size_t pushes = 0;
   for (const Event& e : events) pushes += e.is_push ? 1 : 0;
 

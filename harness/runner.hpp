@@ -34,6 +34,18 @@ concept RelaxedStack = requires(S s, typename S::value_type v) {
   { s.empty() } -> std::convertible_to<bool>;
 };
 
+/// The double-ended variant (TwoDDeque): push/pop at either end, same racy
+/// empty probe. Workload::front_ratio picks the end per operation.
+template <typename D>
+concept RelaxedDeque = requires(D d, typename D::value_type v) {
+  typename D::value_type;
+  d.push_front(std::move(v));
+  d.push_back(std::move(v));
+  { d.pop_front() } -> std::same_as<std::optional<typename D::value_type>>;
+  { d.pop_back() } -> std::same_as<std::optional<typename D::value_type>>;
+  { d.empty() } -> std::convertible_to<bool>;
+};
+
 /// Per-thread label generator: unique across threads (thread id in the
 /// high bits), dense within one.
 class LabelSequence {
@@ -46,11 +58,14 @@ class LabelSequence {
   std::uint64_t next_;
 };
 
-/// Bernoulli(push_ratio) draw from the shared per-thread generator.
-inline bool choose_push(double push_ratio) {
+/// Bernoulli(p) draw from the shared per-thread generator.
+inline bool bernoulli(double p) {
   return static_cast<double>(core::hop_rand() >> 11) <
-         push_ratio * 9007199254740992.0;  // 2^53
+         p * 9007199254740992.0;  // 2^53
 }
+
+/// Bernoulli(push_ratio) draw from the shared per-thread generator.
+inline bool choose_push(double push_ratio) { return bernoulli(push_ratio); }
 
 struct ThroughputResult {
   double mops = 0.0;          ///< million operations per second, all threads
@@ -104,10 +119,14 @@ inline std::uint64_t prefill_share(const Workload& w, unsigned t) {
   return w.prefill / threads + (t < w.prefill % threads ? 1 : 0);
 }
 
-}  // namespace detail
-
-template <RelaxedStack Stack>
-ThroughputResult run_throughput(Stack& stack, const Workload& w) {
+/// Shared throughput accounting over drive(): `prefill(t, labels)` seeds
+/// the structure, `op(labels)` performs one measured operation and
+/// returns false when it was a pop that found the structure empty. The
+/// stack and deque runners differ only in these two callbacks, so the
+/// counter/timing logic cannot drift between them.
+template <typename Prefill, typename Op>
+ThroughputResult measure_throughput(const Workload& w, Prefill prefill,
+                                    Op op) {
   const unsigned threads = std::max(1u, w.threads);
   std::atomic<bool> stop{false};
   struct alignas(64) Counter {
@@ -119,18 +138,10 @@ ThroughputResult run_throughput(Stack& stack, const Workload& w) {
   labels.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) labels.emplace_back(t);
 
-  const auto [t0, t1] = detail::drive(
-      w, stop,
+  const auto [t0, t1] = drive(
+      w, stop, [&](unsigned t) { prefill(t, labels[t]); },
       [&](unsigned t) {
-        const std::uint64_t share = detail::prefill_share(w, t);
-        for (std::uint64_t i = 0; i < share; ++i) stack.push(labels[t]());
-      },
-      [&](unsigned t) {
-        if (choose_push(w.push_ratio)) {
-          stack.push(labels[t]());
-        } else if (!stack.pop()) {
-          ++counters[t].empty;
-        }
+        if (!op(labels[t])) ++counters[t].empty;
         ++counters[t].ops;
       });
 
@@ -147,11 +158,15 @@ ThroughputResult run_throughput(Stack& stack, const Workload& w) {
   return r;
 }
 
-/// Quality pass: same workload, plus the ticket log. Ends at the duration
-/// or when any thread fills its event budget, whichever is first, so the
-/// log (and replay memory) stays bounded.
-template <RelaxedStack Stack>
-QualityResult run_quality(Stack& stack, const Workload& w) {
+/// Shared quality accounting: per-thread ticket logs with the standard
+/// event budget (the run ends early when any thread fills its log, so
+/// replay memory stays bounded), merged and replayed against `order`.
+/// `prefill(t, labels, log)` and `op(labels, log)` perform the operations
+/// and append their events through `log(label, is_push, front)`, which
+/// stamps the shared ticket.
+template <typename Prefill, typename Op>
+QualityResult measure_quality(const Workload& w, quality::Order order,
+                              Prefill prefill, Op op) {
   const unsigned threads = std::max(1u, w.threads);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> ticket{0};
@@ -161,32 +176,24 @@ QualityResult run_quality(Stack& stack, const Workload& w) {
   labels.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     labels.emplace_back(t);
-    budgets[t] = detail::prefill_share(w, t) + w.quality_events;
+    budgets[t] = prefill_share(w, t) + w.quality_events;
   }
+  const auto logger = [&](unsigned t) {
+    return [&, t](std::uint64_t label, bool is_push, bool front = false) {
+      logs[t].push_back(quality::Event{
+          ticket.fetch_add(1, std::memory_order_relaxed), label, is_push,
+          front});
+    };
+  };
 
-  detail::drive(
+  drive(
       w, stop,
       [&](unsigned t) {
-        const std::uint64_t share = detail::prefill_share(w, t);
         logs[t].reserve(budgets[t] + 1);
-        for (std::uint64_t i = 0; i < share; ++i) {
-          const std::uint64_t label = labels[t]();
-          logs[t].push_back(quality::Event{
-              ticket.fetch_add(1, std::memory_order_relaxed), label, true});
-          stack.push(label);
-        }
+        prefill(t, labels[t], logger(t));
       },
       [&](unsigned t) {
-        if (choose_push(w.push_ratio)) {
-          const std::uint64_t label = labels[t]();
-          logs[t].push_back(quality::Event{
-              ticket.fetch_add(1, std::memory_order_relaxed), label, true});
-          stack.push(label);
-        } else if (const auto value = stack.pop()) {
-          logs[t].push_back(quality::Event{
-              ticket.fetch_add(1, std::memory_order_relaxed),
-              static_cast<std::uint64_t>(*value), false});
-        }
+        op(labels[t], logger(t));
         if (logs[t].size() >= budgets[t]) {
           stop.store(true, std::memory_order_relaxed);
         }
@@ -202,7 +209,7 @@ QualityResult run_quality(Stack& stack, const Workload& w) {
     log.shrink_to_fit();
   }
   const quality::ReplayResult replayed =
-      quality::replay(std::move(events), quality::Order::kLifo);
+      quality::replay(std::move(events), order);
 
   QualityResult q;
   q.mean_error = replayed.errors.mean();
@@ -210,6 +217,107 @@ QualityResult run_quality(Stack& stack, const Workload& w) {
   q.samples = replayed.errors.count();
   q.unknown_labels = replayed.unknown_labels;
   return q;
+}
+
+}  // namespace detail
+
+template <RelaxedStack Stack>
+ThroughputResult run_throughput(Stack& stack, const Workload& w) {
+  return detail::measure_throughput(
+      w,
+      [&](unsigned t, LabelSequence& labels) {
+        const std::uint64_t share = detail::prefill_share(w, t);
+        for (std::uint64_t i = 0; i < share; ++i) stack.push(labels());
+      },
+      [&](LabelSequence& labels) {
+        if (choose_push(w.push_ratio)) {
+          stack.push(labels());
+          return true;
+        }
+        return stack.pop().has_value();
+      });
+}
+
+/// Quality pass: same workload, plus the ticket log (see
+/// detail::measure_quality for the budget rules).
+template <RelaxedStack Stack>
+QualityResult run_quality(Stack& stack, const Workload& w) {
+  return detail::measure_quality(
+      w, quality::Order::kLifo,
+      [&](unsigned t, LabelSequence& labels, auto log) {
+        const std::uint64_t share = detail::prefill_share(w, t);
+        for (std::uint64_t i = 0; i < share; ++i) {
+          const std::uint64_t label = labels();
+          log(label, /*is_push=*/true);
+          stack.push(label);
+        }
+      },
+      [&](LabelSequence& labels, auto log) {
+        if (choose_push(w.push_ratio)) {
+          const std::uint64_t label = labels();
+          log(label, /*is_push=*/true);
+          stack.push(label);
+        } else if (const auto value = stack.pop()) {
+          log(static_cast<std::uint64_t>(*value), /*is_push=*/false);
+        }
+      });
+}
+
+/// Deque throughput: the standard workload with the end of each operation
+/// drawn from front_ratio. Prefill uses push_back so the prefilled state is
+/// one FIFO run.
+template <RelaxedDeque Deque>
+ThroughputResult run_throughput_deque(Deque& deque, const Workload& w) {
+  return detail::measure_throughput(
+      w,
+      [&](unsigned t, LabelSequence& labels) {
+        const std::uint64_t share = detail::prefill_share(w, t);
+        for (std::uint64_t i = 0; i < share; ++i) deque.push_back(labels());
+      },
+      [&](LabelSequence& labels) {
+        const bool front = bernoulli(w.front_ratio);
+        if (choose_push(w.push_ratio)) {
+          if (front) {
+            deque.push_front(labels());
+          } else {
+            deque.push_back(labels());
+          }
+          return true;
+        }
+        return (front ? deque.pop_front() : deque.pop_back()).has_value();
+      });
+}
+
+/// Deque quality pass: the ticket log records which end each operation
+/// used, and the replay (quality::Order::kDeque) scores each pop by its
+/// distance from that end.
+template <RelaxedDeque Deque>
+QualityResult run_quality_deque(Deque& deque, const Workload& w) {
+  return detail::measure_quality(
+      w, quality::Order::kDeque,
+      [&](unsigned t, LabelSequence& labels, auto log) {
+        const std::uint64_t share = detail::prefill_share(w, t);
+        for (std::uint64_t i = 0; i < share; ++i) {
+          const std::uint64_t label = labels();
+          log(label, /*is_push=*/true, /*front=*/false);
+          deque.push_back(label);
+        }
+      },
+      [&](LabelSequence& labels, auto log) {
+        const bool front = bernoulli(w.front_ratio);
+        if (choose_push(w.push_ratio)) {
+          const std::uint64_t label = labels();
+          log(label, /*is_push=*/true, front);
+          if (front) {
+            deque.push_front(label);
+          } else {
+            deque.push_back(label);
+          }
+        } else if (const auto value =
+                       front ? deque.pop_front() : deque.pop_back()) {
+          log(static_cast<std::uint64_t>(*value), /*is_push=*/false, front);
+        }
+      });
 }
 
 }  // namespace r2d::harness

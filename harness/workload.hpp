@@ -15,6 +15,8 @@ struct Workload {
   std::uint64_t duration_ms = 100;
   std::uint64_t prefill = 0;        ///< items pushed before the clock starts
   double push_ratio = 0.5;          ///< P(operation is a push)
+  /// P(operation targets the front end) — deque runners only.
+  double front_ratio = util::env_f64("R2D_FRONT_RATIO", 0.5);
   bool pin_threads = util::env_u64("R2D_PIN", 0) != 0;
   /// Per-thread event cap for the quality oracle (bounds its memory); the
   /// quality run ends early when any thread fills its log.

@@ -27,6 +27,11 @@ R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 \
 echo "=== smoke: fig2_thread_sweep ==="
 R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
   "$BUILD_DIR/fig2_thread_sweep"
+# The deque exercises the shared window engine plus the locked-column path
+# under whatever sanitizer this config selected.
+echo "=== smoke: ext_deque_scaling ==="
+R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
+  "$BUILD_DIR/ext_deque_scaling"
 if [ -x "$BUILD_DIR/micro_ops" ]; then
   # Runs under whatever sanitizer this config selected — the assertion
   # that the packed head-word fast paths are clean under ASan/TSan too.
@@ -43,7 +48,7 @@ if [ -z "$SANITIZER" ]; then
   GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   # Drop stale trajectory files so the -s assertions below can only pass
   # on output this run actually wrote.
-  rm -f BENCH_micro.json BENCH_fig2.json
+  rm -f BENCH_micro.json BENCH_fig2.json BENCH_deque.json
   cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DR2D_SANITIZER=
   cmake --build "$PERF_DIR" -j "$(nproc)"
   if [ -x "$PERF_DIR/micro_ops" ]; then
@@ -61,6 +66,11 @@ if [ -z "$SANITIZER" ]; then
     R2D_DURATION_MS=100 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
     "$PERF_DIR/fig2_thread_sweep"
   test -s BENCH_fig2.json
+  echo "=== perf smoke: ext_deque_scaling -> BENCH_deque.json ==="
+  R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_deque.json \
+    R2D_DURATION_MS=100 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
+    "$PERF_DIR/ext_deque_scaling"
+  test -s BENCH_deque.json
 fi
 
 echo "ci.sh: all green"

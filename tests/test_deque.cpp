@@ -1,0 +1,285 @@
+// TwoDDeque tier-1: sequential both-ends semantics (width 1 is a strict
+// deque, checked against std::deque), multiset no-loss/no-dup sequentially
+// and under concurrency, and the deque rank-error oracle mode.
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/two_d_deque.hpp"
+#include "harness/quality.hpp"
+#include "harness/runner.hpp"
+#include "check.hpp"
+
+namespace {
+
+constexpr std::uint64_t kN = 5000;
+
+r2d::core::TwoDParams shape(std::size_t width, std::uint64_t depth,
+                            std::uint64_t shift) {
+  r2d::core::TwoDParams p;
+  p.width = width;
+  p.depth = depth;
+  p.shift = shift;
+  return p;
+}
+
+/// Width-1: every operation must agree with std::deque exactly.
+void check_strict_deque() {
+  r2d::TwoDDeque<std::uint64_t> deque(shape(1, 16, 8));
+  CHECK(deque.empty());
+  CHECK(!deque.pop_front().has_value());
+  CHECK(!deque.pop_back().has_value());
+
+  // push_back then pop_front: FIFO.
+  for (std::uint64_t i = 0; i < kN; ++i) deque.push_back(i);
+  CHECK_EQ(deque.approx_size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto v = deque.pop_front();
+    CHECK(v.has_value());
+    CHECK_EQ(*v, i);
+  }
+  CHECK(deque.empty());
+
+  // push_back then pop_back: LIFO.
+  for (std::uint64_t i = 0; i < kN; ++i) deque.push_back(i);
+  for (std::uint64_t i = kN; i-- > 0;) {
+    const auto v = deque.pop_back();
+    CHECK(v.has_value());
+    CHECK_EQ(*v, i);
+  }
+  CHECK(deque.empty());
+
+  // push_front then pop_back drains in insertion order.
+  for (std::uint64_t i = 0; i < kN; ++i) deque.push_front(i);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto v = deque.pop_back();
+    CHECK(v.has_value());
+    CHECK_EQ(*v, i);
+  }
+  CHECK(deque.empty());
+  CHECK(!deque.pop_back().has_value());
+
+  // Mixed deterministic sequence against the reference model.
+  std::deque<std::uint64_t> model;
+  std::uint64_t label = 0;
+  for (std::uint64_t round = 0; round < 4000; ++round) {
+    switch ((round * 2654435761u) % 7) {
+      case 0:
+      case 1:
+        deque.push_front(label);
+        model.push_front(label);
+        ++label;
+        break;
+      case 2:
+      case 3:
+        deque.push_back(label);
+        model.push_back(label);
+        ++label;
+        break;
+      case 4:
+      case 5: {
+        const auto v = deque.pop_front();
+        CHECK_EQ(v.has_value(), !model.empty());
+        if (v) {
+          CHECK_EQ(*v, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      default: {
+        const auto v = deque.pop_back();
+        CHECK_EQ(v.has_value(), !model.empty());
+        if (v) {
+          CHECK_EQ(*v, model.back());
+          model.pop_back();
+        }
+        break;
+      }
+    }
+    CHECK_EQ(deque.approx_size(), model.size());
+  }
+  while (!model.empty()) {
+    const auto v = deque.pop_front();
+    CHECK(v.has_value());
+    CHECK_EQ(*v, model.front());
+    model.pop_front();
+  }
+  CHECK(deque.empty());
+}
+
+/// Wide shapes sequentially: no loss, no duplication, no invention — from
+/// either end.
+void check_multiset_semantics() {
+  r2d::TwoDDeque<std::uint64_t> deque(shape(8, 4, 2));
+  std::set<std::uint64_t> outstanding;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      deque.push_back(i);
+    } else {
+      deque.push_front(i);
+    }
+    outstanding.insert(i);
+  }
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto v = i % 2 == 0 ? deque.pop_front() : deque.pop_back();
+    CHECK(v.has_value());
+    CHECK(outstanding.erase(*v) == 1);  // known and not yet popped
+  }
+  CHECK(outstanding.empty());
+  CHECK(!deque.pop_front().has_value());
+  CHECK(!deque.pop_back().has_value());
+  CHECK(deque.empty());
+}
+
+/// Concurrent hammer across both ends; afterwards the multiset of popped +
+/// drained labels must equal the multiset pushed.
+void check_concurrent() {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  r2d::TwoDDeque<std::uint64_t> deque(shape(2 * kThreads, 8, 4));
+
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<unsigned> ready{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      std::uint64_t label = (static_cast<std::uint64_t>(t) << 32) + 1;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        if (i % 2 == 0) {
+          deque.push_back(label++);
+        } else {
+          deque.push_front(label++);
+        }
+        // Pop roughly every other op, alternating ends, so the structure
+        // stays populated but every path sees contention.
+        if (i % 2 == 1) {
+          const auto v = i % 4 == 1 ? deque.pop_front() : deque.pop_back();
+          if (v) popped[t].push_back(*v);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<std::uint64_t> seen;
+  for (const auto& p : popped) seen.insert(seen.end(), p.begin(), p.end());
+  bool front = true;
+  while (true) {  // drain alternating ends
+    const auto v = front ? deque.pop_front() : deque.pop_back();
+    if (!v) break;
+    seen.push_back(*v);
+    front = !front;
+  }
+  CHECK(deque.empty());
+
+  CHECK_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::sort(seen.begin(), seen.end());
+  CHECK(std::adjacent_find(seen.begin(), seen.end()) == seen.end());  // dups
+  std::vector<std::uint64_t> expected;
+  expected.reserve(seen.size());
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+      expected.push_back((static_cast<std::uint64_t>(t) << 32) + i);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  CHECK(seen == expected);
+}
+
+/// Hand-built logs replay to known deque rank errors.
+void check_replay_unit() {
+  using r2d::quality::Event;
+  using r2d::quality::Order;
+  using r2d::quality::replay;
+  {
+    // Strict history: push_back a, b; push_front c — line is c a b.
+    // pop_front c, pop_back b, pop_front a: zero error throughout.
+    std::vector<Event> log = {{0, 1, true, false}, {1, 2, true, false},
+                              {2, 3, true, true},  {3, 3, false, true},
+                              {4, 2, false, false}, {5, 1, false, true}};
+    const auto r = replay(log, Order::kDeque);
+    CHECK_EQ(r.errors.count(), std::uint64_t{3});
+    CHECK_EQ(r.errors.mean(), 0.0);
+    CHECK_EQ(r.errors.max(), 0.0);
+    CHECK_EQ(r.unknown_labels, std::uint64_t{0});
+  }
+  {
+    // Relaxed history: push_back a, b, c — line a b c. pop_front b skips a
+    // (error 1); pop_back a skips c (error 1); pop_front c (error 0).
+    std::vector<Event> log = {{0, 1, true, false}, {1, 2, true, false},
+                              {2, 3, true, false}, {3, 2, false, true},
+                              {4, 1, false, false}, {5, 3, false, true}};
+    const auto r = replay(log, Order::kDeque);
+    CHECK_EQ(r.errors.max(), 1.0);
+    CHECK_EQ(r.errors.count(), std::uint64_t{3});
+    CHECK_EQ(r.errors.mean(), 2.0 / 3.0);
+  }
+  {
+    // A back-only history scored as a deque equals its LIFO score, and a
+    // back-push/front-pop history equals its FIFO score.
+    std::vector<Event> lifo = {{0, 1, true, false}, {1, 2, true, false},
+                               {2, 1, false, false}, {3, 2, false, false}};
+    CHECK_EQ(replay(lifo, Order::kDeque).errors.mean(),
+             replay(lifo, Order::kLifo).errors.mean());
+    std::vector<Event> fifo = {{0, 1, true, false}, {1, 2, true, false},
+                               {2, 2, false, true}, {3, 1, false, true}};
+    CHECK_EQ(replay(fifo, Order::kDeque).errors.mean(),
+             replay(fifo, Order::kFifo).errors.mean());
+    CHECK_EQ(replay(fifo, Order::kDeque).errors.max(), 1.0);
+  }
+  {
+    // Unknown labels are counted (and not scored) unless truncated.
+    std::vector<Event> log = {{0, 1, true, false}, {1, 9, false, true},
+                              {2, 1, false, true}};
+    CHECK_EQ(replay(log, Order::kDeque).unknown_labels, std::uint64_t{1});
+    CHECK_EQ(replay(log, Order::kDeque, true).unknown_labels,
+             std::uint64_t{0});
+  }
+}
+
+/// End-to-end oracle: a strict (width-1) deque measured single-threaded
+/// reports exactly zero error; a wide relaxed one under concurrency
+/// reports nonzero error (the oracle detects both-end relaxation).
+void check_oracle_end_to_end() {
+  {
+    r2d::TwoDDeque<std::uint64_t> deque(shape(1, 16, 8));
+    r2d::harness::Workload w;
+    w.threads = 1;
+    w.duration_ms = 50;
+    w.prefill = 1024;
+    const auto q = r2d::harness::run_quality_deque(deque, w);
+    CHECK(q.samples > 0);
+    CHECK_EQ(q.mean_error, 0.0);
+    CHECK_EQ(q.max_error, 0.0);
+    CHECK_EQ(q.unknown_labels, std::uint64_t{0});
+  }
+  {
+    r2d::TwoDDeque<std::uint64_t> deque(shape(16, 16, 8));
+    r2d::harness::Workload w;
+    w.threads = 4;
+    w.duration_ms = 50;
+    w.prefill = 4096;
+    const auto q = r2d::harness::run_quality_deque(deque, w);
+    CHECK(q.samples > 0);
+    CHECK(q.mean_error > 0.0);
+    CHECK_EQ(q.unknown_labels, std::uint64_t{0});
+  }
+}
+
+}  // namespace
+
+int main() {
+  check_strict_deque();
+  check_multiset_semantics();
+  check_concurrent();
+  check_replay_unit();
+  check_oracle_end_to_end();
+  return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,273 @@
+// Unit tests for the shared window-sweep engine (core/window.hpp) against
+// scripted mock columns — hop-mode streaks, certification thresholds,
+// contention restarts, and the monotonic window shift — so engine
+// regressions fail without a full container. Plus the 2D-queue put/get
+// window coupling: the get window must stay bounded by enqueue progress.
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/two_d_queue.hpp"
+#include "core/window.hpp"
+#include "check.hpp"
+
+namespace {
+
+using r2d::core::Certified;
+using r2d::core::HopMode;
+using r2d::core::Probe;
+using r2d::core::TwoDParams;
+
+TwoDParams shape(std::size_t width, HopMode mode) {
+  TwoDParams p;
+  p.width = width;
+  p.depth = 4;
+  p.shift = 2;
+  p.hop_mode = mode;
+  return p;
+}
+
+/// Round-robin: a failed sweep is certified after exactly `width`
+/// consecutive ineligible probes (the seeding fast-path failure counts as
+/// the first), visiting columns consecutively.
+void check_round_robin_streak() {
+  const TwoDParams p = shape(4, HopMode::kRoundRobinOnly);
+  std::atomic<std::uint64_t> window{p.depth};
+  std::vector<std::size_t> probes;
+  unsigned certified_calls = 0;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t i, std::uint64_t) {
+        probes.push_back(i);
+        return Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t) {
+        ++certified_calls;
+        return Certified::stop();
+      });
+  CHECK(!success);
+  CHECK_EQ(certified_calls, 1u);
+  const std::vector<std::size_t> expected = {1, 2, 3};
+  CHECK(probes == expected);
+}
+
+/// A lost CAS (contention) restarts certification: the observed column was
+/// eligible, so the streak must re-cover every column afterwards.
+void check_contention_restart() {
+  const TwoDParams p = shape(4, HopMode::kRoundRobinOnly);
+  std::atomic<std::uint64_t> window{p.depth};
+  std::vector<std::size_t> probes;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t i, std::uint64_t) {
+        probes.push_back(i);
+        // Second probe pretends to lose a CAS on an eligible column.
+        return probes.size() == 2 ? Probe::kContended : Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t) { return Certified::stop(); });
+  CHECK(!success);
+  // Seed(0 implicit) + probes 1, 2(contended) then a full fresh streak of
+  // width probes: 3, 0, 1, 2.
+  const std::vector<std::size_t> expected = {1, 2, 3, 0, 1, 2};
+  CHECK(probes == expected);
+}
+
+/// Hybrid: `width` random probes (seed included), then a round-robin
+/// streak covering every column consecutively, then certification.
+void check_hybrid_streak() {
+  const TwoDParams p = shape(4, HopMode::kHybrid);
+  std::atomic<std::uint64_t> window{p.depth};
+  std::vector<std::size_t> probes;
+  unsigned certified_calls = 0;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t i, std::uint64_t) {
+        probes.push_back(i);
+        return Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t) {
+        ++certified_calls;
+        return Certified::stop();
+      });
+  CHECK(!success);
+  CHECK_EQ(certified_calls, 1u);
+  // 3 random attempts (the seed was the 4th random probe) + 4 streak.
+  CHECK_EQ(probes.size(), std::size_t{7});
+  for (std::size_t k = 4; k < 7; ++k) {
+    CHECK_EQ(probes[k], (probes[k - 1] + 1) % p.width);
+  }
+}
+
+/// Random-only cannot certify from its probes: after `width` random hops
+/// the engine pays a read-only verify scan, resumes at any column the scan
+/// reports eligible, and only consults the container once a scan is clean.
+void check_random_only_verify_scan() {
+  const TwoDParams p = shape(4, HopMode::kRandomOnly);
+  std::atomic<std::uint64_t> window{p.depth};
+  std::vector<std::size_t> probes;
+  std::vector<std::size_t> scanned;
+  bool redirect_armed = true;
+  bool redirected_probe_seen = false;
+  unsigned certified_calls = 0;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t i, std::uint64_t) {
+        probes.push_back(i);
+        if (!redirect_armed && !redirected_probe_seen) {
+          // First probe after the redirecting scan must hit column 2.
+          redirected_probe_seen = true;
+          CHECK_EQ(i, std::size_t{2});
+        }
+        return Probe::kIneligible;
+      },
+      [&](std::size_t i, std::uint64_t) {
+        scanned.push_back(i);
+        if (redirect_armed && i == 2) {
+          redirect_armed = false;
+          return true;  // first scan finds column 2 eligible
+        }
+        return false;
+      },
+      [&](std::uint64_t) {
+        ++certified_calls;
+        return Certified::stop();
+      });
+  CHECK(!success);
+  CHECK(redirected_probe_seen);
+  CHECK_EQ(certified_calls, 1u);
+  // First scan stopped at its redirect target; the clean scan covered all.
+  CHECK(scanned.size() >= p.width + 1);
+  const std::vector<std::size_t> first_scan(scanned.begin(),
+                                            scanned.begin() + 3);
+  CHECK(first_scan == (std::vector<std::size_t>{0, 1, 2}));
+}
+
+/// Certified shifts install the proposed window value with one CAS and the
+/// sweep restarts under it; the window only ever moves through proposed
+/// values (monotonic rule).
+void check_monotonic_shift() {
+  const TwoDParams p = shape(2, HopMode::kRoundRobinOnly);
+  std::atomic<std::uint64_t> window{10};
+  std::vector<std::uint64_t> seen_max;
+  std::vector<std::uint64_t> shifts;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t, std::uint64_t m) {
+        seen_max.push_back(m);
+        return m >= 14 ? Probe::kSuccess : Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t m) {
+        shifts.push_back(m + 2);
+        return Certified::shift_to(m + 2);
+      });
+  CHECK(success);
+  CHECK_EQ(window.load(), std::uint64_t{14});
+  CHECK(shifts == (std::vector<std::uint64_t>{12, 14}));
+  for (std::size_t k = 1; k < seen_max.size(); ++k) {
+    CHECK(seen_max[k] >= seen_max[k - 1]);  // never observed moving back
+  }
+}
+
+/// A concurrent window move (simulated mid-sweep) resets certification:
+/// the engine re-reads the window before every probe and must re-cover
+/// every column under the new value before certifying.
+void check_window_change_resets() {
+  const TwoDParams p = shape(3, HopMode::kRoundRobinOnly);
+  std::atomic<std::uint64_t> window{5};
+  unsigned attempts = 0;
+  std::uint64_t certified_max = 0;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, /*max=*/5, Probe::kIneligible,
+      [&](std::size_t, std::uint64_t) {
+        if (++attempts == 1) window.store(7);  // "another thread" shifts
+        return Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t m) {
+        certified_max = m;
+        return Certified::stop();
+      });
+  CHECK(!success);
+  CHECK_EQ(certified_max, std::uint64_t{7});
+  // 1 probe under the old window + a full fresh streak of 3 under the new.
+  CHECK_EQ(attempts, 4u);
+}
+
+/// Certified::restart_at sends the next probe to the named column.
+void check_certified_restart() {
+  const TwoDParams p = shape(4, HopMode::kRoundRobinOnly);
+  std::atomic<std::uint64_t> window{p.depth};
+  std::vector<std::size_t> probes;
+  bool redirected = false;
+  const bool success = r2d::core::drive_window_sweep(
+      p, window, /*start=*/0, window.load(), Probe::kIneligible,
+      [&](std::size_t i, std::uint64_t) {
+        probes.push_back(i);
+        return Probe::kIneligible;
+      },
+      [&](std::size_t, std::uint64_t) { return false; },
+      [&](std::uint64_t) {
+        if (!redirected) {
+          redirected = true;
+          return Certified::restart_at(3);
+        }
+        return Certified::stop();
+      });
+  CHECK(!success);
+  CHECK_EQ(probes[3], std::size_t{3});  // first probe after the redirect
+  CHECK_EQ(probes.size(), std::size_t{3 + 4});  // then a full fresh streak
+}
+
+/// Satellite regression: the get window is bounded by enqueue progress.
+/// Shape one column to hold 9 items and the other 8; after a full drain
+/// the get window must sit at the 9th serial, not at get_max + shift (the
+/// untightened rule would inflate it to 16 and leave later dequeues
+/// unconstrained by the window — the FIFO bound goes loose).
+void check_queue_window_coupling() {
+  r2d::core::TwoDParams p;
+  p.width = 2;
+  p.depth = 8;
+  p.shift = 8;
+  p.hop_mode = HopMode::kRoundRobinOnly;
+  r2d::TwoDQueue<std::uint64_t> queue(p);
+  for (std::uint64_t i = 0; i < 17; ++i) queue.enqueue(i);
+  // 8 serials per column fill the initial put window; the 17th forced a
+  // put shift, so one column holds 9 items — max enqueue serial 9.
+  CHECK_EQ(queue.put_window(), std::uint64_t{16});
+  CHECK_EQ(queue.approx_size(), std::uint64_t{17});
+
+  std::set<std::uint64_t> outstanding;
+  for (std::uint64_t i = 0; i < 17; ++i) outstanding.insert(i);
+  for (std::uint64_t i = 0; i < 17; ++i) {
+    const auto v = queue.dequeue();
+    CHECK(v.has_value());
+    CHECK(outstanding.erase(*v) == 1);
+  }
+  CHECK(outstanding.empty());
+  CHECK(!queue.dequeue().has_value());
+  // Draining needed the get window to pass serial 8 but never past the
+  // max enqueue serial: tightened bound get_max <= 9.
+  CHECK(queue.get_window() > std::uint64_t{8});
+  CHECK(queue.get_window() <= std::uint64_t{9});
+}
+
+}  // namespace
+
+int main() {
+  check_round_robin_streak();
+  check_contention_restart();
+  check_hybrid_streak();
+  check_random_only_verify_scan();
+  check_monotonic_shift();
+  check_window_change_resets();
+  check_certified_restart();
+  check_queue_window_coupling();
+  return TEST_MAIN_RESULT();
+}
