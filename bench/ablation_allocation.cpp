@@ -1,14 +1,23 @@
 // E10: allocation-substrate ablation (google-benchmark).
 //
-// The authors (like most lock-free stack evaluations) recycle nodes instead
-// of calling malloc per operation. Our containers allocate with new/delete
-// through the SMR layer; this bench measures what that choice costs by
-// comparing raw heap new/delete against the lock-free Pool, single-threaded
-// and contended, on stack-node-sized objects.
+// The authors (like most lock-free stack/queue evaluations) recycle nodes
+// instead of calling malloc per operation. This bench prices the library's
+// allocation policies (reclaim/alloc.hpp) on stack-node-sized objects as a
+// 4-way matrix: heap new/delete vs the bare sharded Pool vs the
+// pool+magazine PoolAlloc containers actually mount, each solo and
+// contended (8 threads). The burst variants defeat the single-hot-block
+// fast path of every scheme — the pattern a pop-heavy stack phase
+// produces.
+//
+// When R2D_BENCH_JSON is set the per-run items/s rates are also written as
+// machine-readable JSON — the BENCH_alloc.json trajectory point
+// scripts/ci.sh records from the Release perf stage.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 
+#include "gbench_common.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/pool.hpp"
 
 namespace {
@@ -18,67 +27,98 @@ struct NodeSized {
   std::uint64_t value;
 };
 
-void BM_HeapNewDelete(benchmark::State& state) {
+/// Policy adapters so one template body covers the whole matrix.
+struct HeapPolicy {
+  using State = r2d::reclaim::HeapAlloc<NodeSized>;
+};
+struct PoolPolicy {
+  using State = r2d::reclaim::Pool<NodeSized>;
+};
+struct MagazinePolicy {
+  using State = r2d::reclaim::PoolAlloc<NodeSized>;
+};
+
+/// One allocator instance per benchmark run, installed by the Setup hook
+/// (single-threaded, before worker spawn) and torn down after the join.
+/// A process-lifetime shared instance would not survive long runs:
+/// google-benchmark spawns a fresh thread set for every iteration-search
+/// trial and repetition, and PoolAlloc binds each distinct thread to one
+/// of 256 per-instance slots for the instance's lifetime.
+template <typename Policy>
+typename Policy::State*& run_state() {
+  static typename Policy::State* state = nullptr;
+  return state;
+}
+
+template <typename Policy>
+void setup_state(const benchmark::State&) {
+  run_state<Policy>() = new typename Policy::State();
+}
+
+template <typename Policy>
+void teardown_state(const benchmark::State&) {
+  delete run_state<Policy>();
+  run_state<Policy>() = nullptr;
+}
+
+/// Alternating acquire/release: the steady-state per-op cost.
+template <typename Policy>
+void BM_AcquireRelease(benchmark::State& state) {
+  auto& alloc = *run_state<Policy>();
   for (auto _ : state) {
-    auto* n = new NodeSized{nullptr, 42};
+    NodeSized* n = alloc.acquire(nullptr, std::uint64_t{42});
     benchmark::DoNotOptimize(n);
-    delete n;
+    alloc.release(n);
   }
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_PoolAcquireRelease(benchmark::State& state) {
-  static r2d::reclaim::Pool<NodeSized>* pool = nullptr;
-  if (state.thread_index() == 0) pool = new r2d::reclaim::Pool<NodeSized>();
-  for (auto _ : state) {
-    auto* n = pool->acquire(nullptr, std::uint64_t{42});
-    benchmark::DoNotOptimize(n);
-    pool->release(n);
-  }
-  state.SetItemsProcessed(state.iterations());
-  if (state.thread_index() == 0) {
-    // Leak-free teardown once all threads are done with the iteration loop
-    // is handled by benchmark's thread join; delete on last exit.
-  }
-}
-
-/// Burst pattern closer to a stack under pop-heavy phases: allocate a batch,
-/// then free it (defeats the single-hot-block fast path of both schemes).
-template <int kBatch>
-void BM_HeapBurst(benchmark::State& state) {
-  NodeSized* batch[kBatch];
-  for (auto _ : state) {
-    for (int i = 0; i < kBatch; ++i) batch[i] = new NodeSized{nullptr, 1};
-    benchmark::DoNotOptimize(batch[0]);
-    for (int i = 0; i < kBatch; ++i) delete batch[i];
-  }
-  state.SetItemsProcessed(state.iterations() * kBatch);
-}
-
-template <int kBatch>
-void BM_PoolBurst(benchmark::State& state) {
-  static r2d::reclaim::Pool<NodeSized>* pool = nullptr;
-  if (state.thread_index() == 0) pool = new r2d::reclaim::Pool<NodeSized>();
+/// Burst pattern closer to a stack under pop-heavy phases: allocate a
+/// batch, then free it. The batch (64) exceeds the default magazine (32),
+/// so the magazine policy's depot splices are on the measured path.
+template <typename Policy, int kBatch>
+void BM_Burst(benchmark::State& state) {
+  auto& alloc = *run_state<Policy>();
   NodeSized* batch[kBatch];
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) {
-      batch[i] = pool->acquire(nullptr, std::uint64_t{1});
+      batch[i] = alloc.acquire(nullptr, std::uint64_t{1});
     }
     benchmark::DoNotOptimize(batch[0]);
-    for (int i = 0; i < kBatch; ++i) pool->release(batch[i]);
+    for (int i = 0; i < kBatch; ++i) alloc.release(batch[i]);
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 
 }  // namespace
 
-BENCHMARK(BM_HeapNewDelete);
-BENCHMARK(BM_HeapNewDelete)->Threads(8)->UseRealTime();
-BENCHMARK(BM_PoolAcquireRelease);
-BENCHMARK(BM_PoolAcquireRelease)->Threads(8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_HeapBurst, 64);
-BENCHMARK_TEMPLATE(BM_HeapBurst, 64)->Threads(8)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_PoolBurst, 64);
-BENCHMARK_TEMPLATE(BM_PoolBurst, 64)->Threads(8)->UseRealTime();
+#define R2D_ALLOC_MATRIX(Policy, name)                                \
+  BENCHMARK_TEMPLATE(BM_AcquireRelease, Policy)                       \
+      ->Name("solo/" name)                                            \
+      ->Setup(setup_state<Policy>)                                    \
+      ->Teardown(teardown_state<Policy>);                             \
+  BENCHMARK_TEMPLATE(BM_AcquireRelease, Policy)                       \
+      ->Name("contended/" name)                                       \
+      ->Setup(setup_state<Policy>)                                    \
+      ->Teardown(teardown_state<Policy>)                              \
+      ->Threads(8)                                                    \
+      ->UseRealTime();                                                \
+  BENCHMARK_TEMPLATE(BM_Burst, Policy, 64)                            \
+      ->Name("solo-burst/" name)                                      \
+      ->Setup(setup_state<Policy>)                                    \
+      ->Teardown(teardown_state<Policy>);                             \
+  BENCHMARK_TEMPLATE(BM_Burst, Policy, 64)                            \
+      ->Name("contended-burst/" name)                                 \
+      ->Setup(setup_state<Policy>)                                    \
+      ->Teardown(teardown_state<Policy>)                              \
+      ->Threads(8)                                                    \
+      ->UseRealTime();
 
-BENCHMARK_MAIN();
+R2D_ALLOC_MATRIX(HeapPolicy, "heap")
+R2D_ALLOC_MATRIX(PoolPolicy, "pool")
+R2D_ALLOC_MATRIX(MagazinePolicy, "pool+magazine")
+
+int main(int argc, char** argv) {
+  return r2d::bench::benchmark_main_with_json("ablation_allocation", argc,
+                                              argv);
+}

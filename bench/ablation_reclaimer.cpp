@@ -19,20 +19,22 @@ namespace {
 
 using namespace r2d::bench;
 
-template <template <typename, typename> class StackT, typename Reclaimer>
+template <template <typename, typename, template <typename> class> class
+              StackT,
+          typename Reclaimer>
 Point measure_stack(const r2d::harness::Workload& w, unsigned repeats,
                     std::size_t width) {
-  return measure_with<StackT<Label, Reclaimer>>(
+  using Stack = StackT<Label, Reclaimer, r2d::reclaim::HeapAlloc>;
+  return measure_with<Stack>(
       [width] {
-        if constexpr (std::is_constructible_v<StackT<Label, Reclaimer>,
-                                              r2d::core::TwoDParams>) {
+        if constexpr (std::is_constructible_v<Stack, r2d::core::TwoDParams>) {
           r2d::core::TwoDParams p;
           p.width = width;
           p.depth = 8;
           p.shift = 4;
-          return std::make_unique<StackT<Label, Reclaimer>>(p);
+          return std::make_unique<Stack>(p);
         } else {
-          return std::make_unique<StackT<Label, Reclaimer>>();
+          return std::make_unique<Stack>();
         }
       },
       w, repeats);

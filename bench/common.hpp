@@ -22,6 +22,7 @@
 #include "stacks/distributed_stack.hpp"
 #include "stacks/elimination_stack.hpp"
 #include "stacks/ksegment_stack.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/membarrier.hpp"
 #include "stacks/treiber_stack.hpp"
 #include "util/env.hpp"
@@ -114,18 +115,28 @@ Point measure_with(Make&& make_stack, const harness::Workload& w,
   return point;
 }
 
-/// Run the named algorithm under the given workload. Supported names:
-/// treiber, elimination, k-segment, random, random-c2, k-robin, 2D-stack.
-inline Point run_algorithm(const AlgoConfig& cfg, const harness::Workload& w,
-                           unsigned repeats) {
+/// R2D_ALLOC=pool swaps every run_algorithm-built container onto the
+/// pool+magazine allocation policy (reclaim::PoolAlloc); the default heap
+/// policy is the other arm of the E10 / micro A/B comparison.
+inline bool use_pool_alloc() {
+  static const bool pool = util::env_str("R2D_ALLOC", "heap") == "pool";
+  return pool;
+}
+
+/// run_algorithm monomorphised over the allocation policy.
+template <template <typename> class Alloc>
+Point run_algorithm_with(const AlgoConfig& cfg, const harness::Workload& w,
+                         unsigned repeats) {
+  using Epoch = reclaim::EpochReclaimer;
   const unsigned threads = std::max(1u, cfg.threads);
   if (cfg.name == "treiber") {
-    return measure_with<stacks::TreiberStack<Label>>(
-        [] { return std::make_unique<stacks::TreiberStack<Label>>(); }, w,
-        repeats);
+    using Stack = stacks::TreiberStack<Label, Epoch, Alloc>;
+    return measure_with<Stack>([] { return std::make_unique<Stack>(); }, w,
+                               repeats);
   }
   if (cfg.name == "elimination") {
-    return measure_with<stacks::EliminationStack<Label>>(
+    using Stack = stacks::EliminationStack<Label, Epoch, Alloc>;
+    return measure_with<Stack>(
         [threads] {
           // Empirically tuned on this host (see EXPERIMENTS.md E3 notes):
           // a wide collision array and patient waiting maximise collisions.
@@ -133,44 +144,53 @@ inline Point run_algorithm(const AlgoConfig& cfg, const harness::Workload& w,
           p.collision_slots = std::max<std::size_t>(4, 2 * threads);
           p.spin_budget = 1024;
           p.cas_attempts = 1;
-          return std::make_unique<stacks::EliminationStack<Label>>(p);
+          return std::make_unique<Stack>(p);
         },
         w, repeats);
   }
   if (cfg.name == "k-segment") {
+    using Stack = stacks::KSegmentStack<Label, Epoch, Alloc>;
     const std::size_t k = std::max<std::uint64_t>(1, cfg.k);
-    return measure_with<stacks::KSegmentStack<Label>>(
-        [k] { return std::make_unique<stacks::KSegmentStack<Label>>(k); }, w,
-        repeats);
+    return measure_with<Stack>([k] { return std::make_unique<Stack>(k); }, w,
+                               repeats);
   }
   if (cfg.name == "random") {
+    using Stack = stacks::RandomStack<Label, Epoch, Alloc>;
     const std::size_t width = std::max<std::size_t>(1, 4 * threads);
-    return measure_with<stacks::RandomStack<Label>>(
-        [width] { return std::make_unique<stacks::RandomStack<Label>>(width); },
-        w, repeats);
+    return measure_with<Stack>(
+        [width] { return std::make_unique<Stack>(width); }, w, repeats);
   }
   if (cfg.name == "random-c2") {
+    using Stack = stacks::RandomC2Stack<Label, Epoch, Alloc>;
     const std::size_t width = std::max<std::size_t>(1, 4 * threads);
-    return measure_with<stacks::RandomC2Stack<Label>>(
-        [width] {
-          return std::make_unique<stacks::RandomC2Stack<Label>>(width);
-        },
-        w, repeats);
+    return measure_with<Stack>(
+        [width] { return std::make_unique<Stack>(width); }, w, repeats);
   }
   if (cfg.name == "k-robin") {
+    using Stack = stacks::KRobinStack<Label, Epoch, Alloc>;
     const std::size_t width = krobin_width_for(cfg.k, threads);
-    return measure_with<stacks::KRobinStack<Label>>(
-        [width] { return std::make_unique<stacks::KRobinStack<Label>>(width); },
-        w, repeats);
+    return measure_with<Stack>(
+        [width] { return std::make_unique<Stack>(width); }, w, repeats);
   }
   if (cfg.name == "2D-stack") {
+    using Stack = TwoDStack<Label, Epoch, Alloc>;
     const auto params = two_d_params_for(cfg);
-    return measure_with<TwoDStack<Label>>(
-        [params] { return std::make_unique<TwoDStack<Label>>(params); }, w,
-        repeats);
+    return measure_with<Stack>(
+        [params] { return std::make_unique<Stack>(params); }, w, repeats);
   }
   std::cerr << "unknown algorithm: " << cfg.name << "\n";
   return {};
+}
+
+/// Run the named algorithm under the given workload. Supported names:
+/// treiber, elimination, k-segment, random, random-c2, k-robin, 2D-stack.
+/// The allocation substrate follows R2D_ALLOC (heap | pool).
+inline Point run_algorithm(const AlgoConfig& cfg, const harness::Workload& w,
+                           unsigned repeats) {
+  if (use_pool_alloc()) {
+    return run_algorithm_with<reclaim::PoolAlloc>(cfg, w, repeats);
+  }
+  return run_algorithm_with<reclaim::HeapAlloc>(cfg, w, repeats);
 }
 
 /// Common environment knobs for all benches.

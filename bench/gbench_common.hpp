@@ -1,0 +1,50 @@
+// Shared google-benchmark glue for the benches that link it (micro_ops,
+// ablation_allocation) — kept out of bench/common.hpp, which is included
+// by benches that must build without google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace r2d::bench {
+
+/// Console output as usual, plus a capture of every per-iteration run's
+/// items/s for the BENCH_*.json trajectory (see emit_json / scripts/ci.sh).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      points_.push_back({run.benchmark_name(),
+                         static_cast<unsigned>(run.threads),
+                         it->second / 1e6});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<JsonPoint>& points() const { return points_; }
+
+ private:
+  std::vector<JsonPoint> points_;
+};
+
+/// The shared main(): run the registered benchmarks through the capturing
+/// reporter and honor R2D_BENCH_JSON.
+inline int benchmark_main_with_json(const std::string& bench, int argc,
+                                    char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  emit_json(bench, reporter.points());
+  return 0;
+}
+
+}  // namespace r2d::bench

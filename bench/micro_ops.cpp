@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "common.hpp"
+#include "gbench_common.hpp"
 #include "core/two_d_stack.hpp"
 #include "stacks/distributed_stack.hpp"
 #include "stacks/elimination_stack.hpp"
@@ -68,6 +68,28 @@ std::unique_ptr<r2d::TwoDStack<Label>> make_bench_stack(unsigned threads) {
   return std::make_unique<r2d::TwoDStack<Label>>(p);
 }
 
+// Pool-policy A/B partners (reclaim/alloc.hpp): identical shapes on the
+// PoolAlloc substrate, so the single/contended deltas against the heap
+// rows price the allocation policy alone.
+using TreiberPoolStack =
+    r2d::stacks::TreiberStack<Label, r2d::reclaim::EpochReclaimer,
+                              r2d::reclaim::PoolAlloc>;
+using TwoDPoolStack = r2d::TwoDStack<Label, r2d::reclaim::EpochReclaimer,
+                                     r2d::reclaim::PoolAlloc>;
+
+template <>
+std::unique_ptr<TreiberPoolStack> make_bench_stack(unsigned) {
+  return std::make_unique<TreiberPoolStack>();
+}
+template <>
+std::unique_ptr<TwoDPoolStack> make_bench_stack(unsigned threads) {
+  r2d::core::TwoDParams p;
+  p.width = 4 * std::max(1u, threads);
+  p.depth = 8;
+  p.shift = 4;
+  return std::make_unique<TwoDPoolStack>(p);
+}
+
 /// Alternating push/pop on one thread: the uncontended round-trip cost.
 template <typename S>
 void BM_PushPopSingle(benchmark::State& state) {
@@ -118,6 +140,8 @@ using Rand = r2d::stacks::RandomStack<Label>;
 using RandC2 = r2d::stacks::RandomC2Stack<Label>;
 using KRobin = r2d::stacks::KRobinStack<Label>;
 using TwoD = r2d::TwoDStack<Label>;
+using TreiberPool = TreiberPoolStack;
+using TwoDPool = TwoDPoolStack;
 
 R2D_MICRO(Treiber)
 R2D_MICRO(Elim)
@@ -126,39 +150,9 @@ R2D_MICRO(Rand)
 R2D_MICRO(RandC2)
 R2D_MICRO(KRobin)
 R2D_MICRO(TwoD)
-
-namespace {
-
-/// Console output as usual, plus a capture of every per-iteration run's
-/// items/s for the BENCH_micro.json trajectory.
-class CapturingReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      const auto it = run.counters.find("items_per_second");
-      if (it == run.counters.end()) continue;
-      points_.push_back({run.benchmark_name(),
-                         static_cast<unsigned>(run.threads),
-                         it->second / 1e6});
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
-  const std::vector<r2d::bench::JsonPoint>& points() const { return points_; }
-
- private:
-  std::vector<r2d::bench::JsonPoint> points_;
-};
-
-}  // namespace
+R2D_MICRO(TreiberPool)
+R2D_MICRO(TwoDPool)
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  CapturingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-  r2d::bench::emit_json("micro_ops", reporter.points());
-  return 0;
+  return r2d::bench::benchmark_main_with_json("micro_ops", argc, argv);
 }

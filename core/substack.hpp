@@ -87,15 +87,16 @@ struct alignas(64) StackColumn {
   std::atomic<std::uint64_t> head{0};
 };
 
-/// Single-threaded teardown helper for container destructors.
-template <typename T>
-inline void drain_column(StackColumn<T>& column) {
+/// Single-threaded teardown helper for container destructors: every node
+/// goes back to the allocator policy that produced it.
+template <typename T, typename Alloc>
+inline void drain_column(StackColumn<T>& column, Alloc& alloc) {
   StackNode<T>* node =
       head_node<T>(column.head.load(std::memory_order_relaxed));
   column.head.store(0, std::memory_order_relaxed);
   while (node != nullptr) {
     StackNode<T>* next = node->next;
-    delete node;
+    alloc.release(node);
     node = next;
   }
 }

@@ -50,11 +50,12 @@
 #include "core/params.hpp"
 #include "core/substack.hpp"  // InstanceLocal
 #include "core/window.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d {
 
-template <typename T>
+template <typename T, template <typename> class Alloc = reclaim::HeapAlloc>
 class TwoDDeque {
   /// Center of the biased 32-bit flow representation: a stored flow word
   /// of kFlowBias means "net zero". Windows live on the same biased scale,
@@ -96,6 +97,7 @@ class TwoDDeque {
 
  public:
   using value_type = T;
+  using allocator_type = Alloc<Node>;
 
   explicit TwoDDeque(core::TwoDParams params)
       : params_(validated(std::move(params))),
@@ -112,7 +114,7 @@ class TwoDDeque {
       Node* node = columns_[i].front;
       while (node != nullptr) {
         Node* next = node->next;
-        delete node;
+        alloc_.release(node);
         node = next;
       }
     }
@@ -175,7 +177,7 @@ class TwoDDeque {
 
   template <bool kFront>
   void push(T value) {
-    Node* node = new Node{nullptr, nullptr, std::move(value)};
+    Node* node = alloc_.acquire(nullptr, nullptr, std::move(value));
     std::atomic<std::uint64_t>& window = window_word<kFront>();
     const std::uint64_t max = window.load(std::memory_order_acquire);
     const std::size_t start = preferred_index();
@@ -325,7 +327,9 @@ class TwoDDeque {
                        std::memory_order_release);
     column.unlock();
     out = std::move(node->value);
-    delete node;
+    // Node lifetime is governed by the column lock, so the block goes
+    // straight back to the allocator — no reclaimer in the loop.
+    alloc_.release(node);
     preferred_index() = i;
     return core::Probe::kSuccess;
   }
@@ -351,6 +355,7 @@ class TwoDDeque {
   std::atomic<std::uint64_t> front_max_{0};
   std::atomic<std::uint64_t> back_max_{0};
   const std::uint64_t id_ = reclaim::detail::next_instance_id();
+  [[no_unique_address]] Alloc<Node> alloc_;
 };
 
 }  // namespace r2d

@@ -35,12 +35,14 @@
 #include "core/params.hpp"
 #include "core/substack.hpp"  // InstanceLocal
 #include "core/window.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d {
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
 class TwoDQueue {
   struct Node {
     std::atomic<Node*> next{nullptr};
@@ -64,6 +66,7 @@ class TwoDQueue {
  public:
   using value_type = T;
   using reclaimer_type = Reclaimer;
+  using allocator_type = Alloc<Node>;
 
   explicit TwoDQueue(core::TwoDParams params)
       : params_(params),
@@ -72,7 +75,7 @@ class TwoDQueue {
         columns_(new Column[params.width]) {
     params_.validate();
     for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* dummy = new Node;
+      Node* dummy = alloc_.acquire();
       columns_[i].head.store(dummy, std::memory_order_relaxed);
       columns_[i].tail.store(dummy, std::memory_order_relaxed);
     }
@@ -86,7 +89,7 @@ class TwoDQueue {
       Node* node = columns_[i].head.load(std::memory_order_relaxed);
       while (node != nullptr) {
         Node* next = node->next.load(std::memory_order_relaxed);
-        delete node;
+        alloc_.release(node);
         node = next;
       }
     }
@@ -96,7 +99,7 @@ class TwoDQueue {
 
   void enqueue(T value) {
     auto guard = reclaimer_.pin();
-    Node* node = new Node;
+    Node* node = alloc_.acquire();
     node->value = std::move(value);
     const std::uint64_t max = put_max_.load(std::memory_order_acquire);
     const std::size_t start = preferred_enq_index() % params_.width;
@@ -250,7 +253,7 @@ class TwoDQueue {
                                             std::memory_order_relaxed)) {
       preferred_deq_index() = i;
       out = std::move(next->value);
-      guard.retire(head);
+      guard.retire(head, alloc_);
       return core::Probe::kSuccess;
     }
     return core::Probe::kContended;
@@ -320,6 +323,9 @@ class TwoDQueue {
   alignas(64) std::atomic<std::uint64_t> put_max_;
   alignas(64) std::atomic<std::uint64_t> get_max_;
   std::unique_ptr<Column[]> columns_;
+  // alloc_ before reclaimer_: the reclaimer's destructor releases deferred
+  // retires into it (DESIGN.md §10).
+  [[no_unique_address]] Alloc<Node> alloc_;
   Reclaimer reclaimer_;
 };
 

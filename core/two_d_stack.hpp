@@ -19,7 +19,10 @@
 // head->next.
 //
 // Memory reclamation is a template policy (see reclaim/leaky.hpp for the
-// contract); the default is epoch-based.
+// contract); the default is epoch-based. Node storage is a second policy
+// (reclaim/alloc.hpp): HeapAlloc by default, PoolAlloc for slab-recycled,
+// magazine-cached blocks — retired nodes flow back to the owning allocator
+// through the reclaimer (DESIGN.md §10).
 #pragma once
 
 #include <algorithm>
@@ -32,12 +35,14 @@
 #include "core/params.hpp"
 #include "core/substack.hpp"
 #include "core/window.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"
 
 namespace r2d {
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
 class TwoDStack {
   using Node = core::StackNode<T>;
   using Column = core::StackColumn<T>;
@@ -45,6 +50,7 @@ class TwoDStack {
  public:
   using value_type = T;
   using reclaimer_type = Reclaimer;
+  using allocator_type = Alloc<Node>;
 
   explicit TwoDStack(core::TwoDParams params)
       : params_(validated(std::move(params))),
@@ -57,14 +63,14 @@ class TwoDStack {
 
   ~TwoDStack() {
     for (std::size_t i = 0; i < params_.width; ++i) {
-      core::drain_column(columns_[i]);
+      core::drain_column(columns_[i], alloc_);
     }
   }
 
   const core::TwoDParams& params() const { return params_; }
 
   void push(T value) {
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = alloc_.acquire(nullptr, std::move(value));
     // Fast path: one probe of the thread's last successful column under
     // the current window — one window read, one packed-head read, one CAS;
     // no sweep state, no divisions, no reclaimer.
@@ -147,7 +153,7 @@ class TwoDStack {
             core::pack_head(next, core::packed_count_after_pop(word, next)),
             std::memory_order_acq_rel, std::memory_order_relaxed)) {
       T value = std::move(head->value);
-      guard.retire(head);
+      guard.retire(head, alloc_);
       return value;
     }
     return std::nullopt;
@@ -245,6 +251,9 @@ class TwoDStack {
   std::unique_ptr<Column[]> columns_;
   std::atomic<std::uint64_t> window_max_{0};
   const std::uint64_t id_ = reclaim::detail::next_instance_id();
+  // Destruction-order contract (DESIGN.md §10): the reclaimer's destructor
+  // drains deferred retires into alloc_, so alloc_ must be declared first.
+  [[no_unique_address]] Alloc<Node> alloc_;
   Reclaimer reclaimer_;
 };
 

@@ -60,7 +60,8 @@ class EpochReclaimer {
 
   struct Retired {
     void* node;
-    void (*destroy)(void*);
+    void* ctx;  ///< owning allocator (nullptr: plain delete)
+    void (*destroy)(void*, void*);
   };
 
   struct alignas(64) Slot {
@@ -84,7 +85,7 @@ class EpochReclaimer {
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       for (auto& bucket : slots_[i].bucket) {
-        for (const Retired& r : bucket) r.destroy(r.node);
+        for (const Retired& r : bucket) r.destroy(r.node, r.ctx);
         bucket.clear();
       }
     }
@@ -120,8 +121,18 @@ class EpochReclaimer {
 
     template <typename T>
     void retire(T* node) {
-      r_->retire_at(s_, node,
-                    [](void* p) { delete static_cast<T*>(p); });
+      r_->retire_at(s_, node, nullptr,
+                    [](void* p, void*) { delete static_cast<T*>(p); });
+    }
+
+    /// Retire a node owned by an allocator policy: the deferred free
+    /// returns the block to `alloc` (which must outlive this reclaimer)
+    /// instead of heap-deleting it.
+    template <typename T, typename Alloc>
+    void retire(T* node, Alloc& alloc) {
+      r_->retire_at(s_, node, &alloc, [](void* p, void* a) {
+        static_cast<Alloc*>(a)->release(static_cast<T*>(p));
+      });
     }
 
    private:
@@ -153,19 +164,19 @@ class EpochReclaimer {
   bool uses_membarrier() const { return membarrier_; }
 
  private:
-  void retire_at(Slot* s, void* node, void (*destroy)(void*)) {
+  void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
     const std::uint64_t e = s->epoch.load(std::memory_order_relaxed);
     auto& bucket = s->bucket[e % 3];
     if (s->bucket_epoch[e % 3] != e) {
 #if !R2D_EBR_DEFER_FREES
       // Bucket holds nodes from epoch e-3 or older; the global epoch has
       // since reached at least e >= old+3 > old+2, so they are safe.
-      for (const Retired& r : bucket) r.destroy(r.node);
+      for (const Retired& r : bucket) r.destroy(r.node, r.ctx);
       bucket.clear();
 #endif
       s->bucket_epoch[e % 3] = e;
     }
-    bucket.push_back(Retired{node, destroy});
+    bucket.push_back(Retired{node, ctx, destroy});
     if (++s->retires_since_advance >= advance_every_) {
       s->retires_since_advance = 0;
       try_advance();

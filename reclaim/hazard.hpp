@@ -26,7 +26,8 @@ class HazardReclaimer {
 
   struct Retired {
     void* node;
-    void (*destroy)(void*);
+    void* ctx;  ///< owning allocator (nullptr: plain delete)
+    void (*destroy)(void*, void*);
   };
 
   struct alignas(64) Slot {
@@ -46,7 +47,7 @@ class HazardReclaimer {
   ~HazardReclaimer() {
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
-      for (const Retired& r : slots_[i].retired) r.destroy(r.node);
+      for (const Retired& r : slots_[i].retired) r.destroy(r.node, r.ctx);
       slots_[i].retired.clear();
     }
   }
@@ -92,8 +93,18 @@ class HazardReclaimer {
 
     template <typename T>
     void retire(T* node) {
-      r_->retire_at(s_, node,
-                    [](void* p) { delete static_cast<T*>(p); });
+      r_->retire_at(s_, node, nullptr,
+                    [](void* p, void*) { delete static_cast<T*>(p); });
+    }
+
+    /// Retire a node owned by an allocator policy: the deferred free
+    /// returns the block to `alloc` (which must outlive this reclaimer)
+    /// instead of heap-deleting it.
+    template <typename T, typename Alloc>
+    void retire(T* node, Alloc& alloc) {
+      r_->retire_at(s_, node, &alloc, [](void* p, void* a) {
+        static_cast<Alloc*>(a)->release(static_cast<T*>(p));
+      });
     }
 
    private:
@@ -104,8 +115,8 @@ class HazardReclaimer {
   Guard pin() { return Guard(this, local_slot()); }
 
  private:
-  void retire_at(Slot* s, void* node, void (*destroy)(void*)) {
-    s->retired.push_back(Retired{node, destroy});
+  void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
+    s->retired.push_back(Retired{node, ctx, destroy});
     if (s->retired.size() >= kScanThreshold) scan(s);
   }
 
@@ -125,7 +136,7 @@ class HazardReclaimer {
       if (std::binary_search(hazards.begin(), hazards.end(), r.node)) {
         keep.push_back(r);
       } else {
-        r.destroy(r.node);
+        r.destroy(r.node, r.ctx);
       }
     }
     s->retired.swap(keep);

@@ -7,15 +7,20 @@
 //   T* p = g.protect(head, slot);      // hazard-safe load of atomic<T*>
 //   w = g.protect_word(head, unpack);  // same for a packed head word whose
 //                                      // node pointer `unpack` extracts
-//   g.retire(p);                       // defer delete of an unlinked node
+//   g.retire(p, alloc);                // defer release of an unlinked node
+//                                      // back to its owning allocator
+//   g.retire(p);                       // same, for plain new'd nodes
 //
 // Operations that never dereference a shared node — packed-head pushes and
 // count probes read one atomic word — need no guard at all.
 //
 // `protect` may be called for up to kMaxProtected distinct slots per guard;
 // `retire` must be called at most once per node, only after the node is
-// unreachable from the structure. Guards must not outlive the reclaimer and
-// must not nest per thread on the same instance (one pin per operation).
+// unreachable from the structure. The allocator passed to retire must
+// outlive the reclaimer (containers declare the allocator member first —
+// see DESIGN.md §10 for the block-ownership pipeline). Guards must not
+// outlive the reclaimer and must not nest per thread on the same instance
+// (one pin per operation).
 // Capacity: the epoch/hazard policies bind each thread to a per-instance
 // slot that is never released, so at most 256 distinct threads may ever
 // touch one reclaimer instance over its lifetime (exceeding it aborts
@@ -53,6 +58,11 @@ class LeakyReclaimer {
     template <typename T>
     void retire(T* /*node*/) {
       // Intentionally leaked.
+    }
+
+    template <typename T, typename Alloc>
+    void retire(T* /*node*/, Alloc& /*alloc*/) {
+      // Intentionally leaked — never returned to the allocator either.
     }
   };
 

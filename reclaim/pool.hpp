@@ -1,19 +1,43 @@
-// Pool: a lock-free, sharded free list of fixed-size nodes.
+// Pool: a lock-free, slab-backed recycler of fixed-size blocks.
 //
-// acquire() constructs a T in a recycled block (or a fresh heap block when
-// the shard is dry); release() destroys it and pushes the block back. The
-// E10 ablation compares this against raw new/delete — node recycling is
-// what the paper's evaluation (and most lock-free stack evaluations) use.
+// acquire() constructs a T in a recycled block (or carves a fresh block out
+// of a slab when the free lists are dry); release() destroys it and pushes
+// the block back. The E10 ablation compares this against raw new/delete —
+// node recycling is what the paper's evaluation (and most lock-free stack
+// evaluations) use. PoolAlloc (reclaim/alloc.hpp) layers per-thread
+// magazines on top via the raw block API below.
+//
+// Storage is slabs, not per-block heap allocations: blocks are padded and
+// aligned to cache lines (a freshly recycled node never false-shares with
+// its neighbor), carving a block is one CAS on a packed {slab, index}
+// cursor, and the destructor frees the slabs wholesale — so blocks parked
+// in a dead thread's magazine or a depot are reclaimed no matter where
+// they sit. The contract that buys: every T must be *destroyed* before the
+// pool dies (release — or at least ~T — must have run), and no block may
+// be touched afterwards.
 //
 // ABA on the free lists is defended with a 16-bit tag packed into the top
 // bits of the head word (x86-64 user pointers fit in 48 bits); shards cut
-// contention by hashing threads onto independent lists.
+// contention by assigning each (thread, instance) pair its own list
+// round-robin — keyed per instance (core::InstanceLocal), because a
+// process-wide counter would give two coexisting pools of the same T
+// correlated, skewed assignments.
+//
+// The two chain words that link free blocks live in the block's *tail*,
+// outside the T footprint, and are accessed as relaxed atomics
+// (constructed once per slab): an optimistic chain read racing a
+// winner's placement-new of T — the load the ABA tag exists to
+// invalidate — is then a race on no byte at all, so the lock-free
+// splice protocol is exactly as written even under TSan.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <new>
 #include <utility>
+
+#include "core/substack.hpp"  // InstanceLocal
+#include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d::reclaim {
 
@@ -22,49 +46,50 @@ class Pool {
   static_assert(sizeof(void*) == 8,
                 "Pool packs a 16-bit ABA tag above 48-bit pointers");
 
-  struct FreeNode {
-    FreeNode* next;
-  };
-  static constexpr std::size_t kBlockSize =
-      sizeof(T) > sizeof(FreeNode) ? sizeof(T) : sizeof(FreeNode);
-  static constexpr std::size_t kBlockAlign =
-      alignof(T) > alignof(FreeNode) ? alignof(T) : alignof(FreeNode);
   static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kSlabBlocks = 64;
   static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << 48) - 1;
 
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> head{0};
   };
 
-  static FreeNode* unpack(std::uint64_t v) {
-    return reinterpret_cast<FreeNode*>(v & kPtrMask);
-  }
-  static std::uint64_t pack(FreeNode* p, std::uint64_t tag) {
-    return (reinterpret_cast<std::uint64_t>(p) & kPtrMask) | (tag << 48);
-  }
+  /// Slab header; blocks start kBlockStride bytes in (header padded to one
+  /// block so every block keeps 64-byte alignment).
+  struct Slab {
+    Slab* next;
+  };
 
  public:
+  /// Blocks are cache-line padded and aligned: recycled neighbors never
+  /// share a line. The T sits at the block start (64-aligned); the two
+  /// chain words occupy the last 16 bytes, disjoint from the T footprint.
+  static constexpr std::size_t kBlockStride =
+      (sizeof(T) + 2 * sizeof(void*) + 63) / 64 * 64;
+  static constexpr std::size_t kBlockAlign = 64;
+  static_assert(alignof(T) <= kBlockAlign,
+                "Pool blocks are 64-byte aligned; over-aligned T unsupported");
+
   Pool() = default;
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
   ~Pool() {
-    for (Shard& shard : shards_) {
-      FreeNode* node = unpack(shard.head.load(std::memory_order_acquire));
-      while (node != nullptr) {
-        FreeNode* next = node->next;
-        ::operator delete(node, std::align_val_t{kBlockAlign});
-        node = next;
-      }
+    // Single-threaded by contract; every T has been destroyed, so the
+    // slabs can go wholesale — free lists, magazines, and depots hold
+    // interior pointers only.
+    Slab* slab = slabs_.load(std::memory_order_acquire);
+    while (slab != nullptr) {
+      Slab* next = slab->next;
+      ::operator delete(slab, std::align_val_t{kBlockAlign});
+      slab = next;
     }
   }
 
   template <typename... Args>
   T* acquire(Args&&... args) {
     void* block = pop_block(local_shard());
-    if (block == nullptr) {
-      block = ::operator new(kBlockSize, std::align_val_t{kBlockAlign});
-    }
+    if (block == nullptr) block = alloc_block();
     return ::new (block) T{std::forward<Args>(args)...};
   }
 
@@ -73,37 +98,123 @@ class Pool {
     push_block(local_shard(), obj);
   }
 
+  // ---- raw block API (for layered allocators, see reclaim/alloc.hpp) ----
+
+  /// First chain word of a block: links blocks within a magazine or free
+  /// list. The atomics are constructed once when the slab is carved and
+  /// sit past the T, so chain traffic and object construction never touch
+  /// the same bytes; relaxed is enough, ordering comes from the list-head
+  /// CASes.
+  static std::atomic<void*>& chain_next(void* block) {
+    return *reinterpret_cast<std::atomic<void*>*>(
+        static_cast<char*>(block) + kBlockStride - 2 * sizeof(void*));
+  }
+
+  /// Second chain word: links whole magazines in a depot.
+  static std::atomic<void*>& chain_next2(void* block) {
+    return *reinterpret_cast<std::atomic<void*>*>(
+        static_cast<char*>(block) + kBlockStride - sizeof(void*));
+  }
+
+  /// Carve a fresh, never-used block. One CAS on the packed {slab, index}
+  /// cursor in steady state; losers of a slab-growth race free their
+  /// candidate and retry on the winner's slab.
+  void* alloc_block() {
+    std::uint64_t cur = bump_.load(std::memory_order_acquire);
+    while (true) {
+      Slab* slab = reinterpret_cast<Slab*>(cur & kPtrMask);
+      const std::uint64_t index = cur >> 48;
+      if (slab != nullptr && index < kSlabBlocks) {
+        if (bump_.compare_exchange_weak(
+                cur, (cur & kPtrMask) | ((index + 1) << 48),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          return block_at(slab, index);
+        }
+        continue;
+      }
+      grow(cur);
+    }
+  }
+
  private:
+  static void* block_at(Slab* slab, std::uint64_t index) {
+    return reinterpret_cast<char*>(slab) + kBlockStride * (index + 1);
+  }
+
+  /// Install a fresh slab unless someone else did first. Updates `cur` to
+  /// the current cursor either way.
+  void grow(std::uint64_t& cur) {
+    const std::size_t bytes = kBlockStride * (kSlabBlocks + 1);
+    auto* fresh = static_cast<Slab*>(
+        ::operator new(bytes, std::align_val_t{kBlockAlign}));
+    // Construct every block's chain words before the slab is published —
+    // after this the tail 16 bytes of each block are only ever touched
+    // through these atomics.
+    for (std::uint64_t i = 0; i < kSlabBlocks; ++i) {
+      void* block = block_at(fresh, i);
+      ::new (static_cast<void*>(&chain_next(block))) std::atomic<void*>(nullptr);
+      ::new (static_cast<void*>(&chain_next2(block)))
+          std::atomic<void*>(nullptr);
+    }
+    if (bump_.compare_exchange_strong(
+            cur, reinterpret_cast<std::uint64_t>(fresh) & kPtrMask,
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      // Won: publish for the destructor's wholesale free.
+      fresh->next = slabs_.load(std::memory_order_relaxed);
+      while (!slabs_.compare_exchange_weak(fresh->next, fresh,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      }
+      cur = reinterpret_cast<std::uint64_t>(fresh) & kPtrMask;
+    } else {
+      ::operator delete(fresh, std::align_val_t{kBlockAlign});
+    }
+  }
+
+  /// The calling thread's shard for *this* pool: assigned round-robin per
+  /// instance on first touch, so coexisting pools of one T spread threads
+  /// independently instead of sharing one process-wide counter.
   Shard& local_shard() {
-    static std::atomic<std::uint64_t> counter{0};
-    thread_local std::uint64_t idx =
-        counter.fetch_add(1, std::memory_order_relaxed);
-    return shards_[idx % kShards];
+    thread_local core::InstanceLocal<std::uint32_t> assigned;
+    std::uint32_t& idx = assigned.get(id_);
+    if (idx == 0) [[unlikely]] {
+      idx = static_cast<std::uint32_t>(
+                shard_seq_.fetch_add(1, std::memory_order_relaxed) % kShards) +
+            1;
+    }
+    return shards_[idx - 1];
   }
 
   void* pop_block(Shard& shard) {
     std::uint64_t head = shard.head.load(std::memory_order_acquire);
     while (true) {
-      FreeNode* node = unpack(head);
-      if (node == nullptr) return nullptr;
-      // The tag makes a recycled-and-repushed node compare unequal, so the
-      // dereference of node->next below cannot be stitched onto the wrong
-      // successor.
-      const std::uint64_t next = pack(node->next, (head >> 48) + 1);
+      void* block = reinterpret_cast<void*>(head & kPtrMask);
+      if (block == nullptr) return nullptr;
+      // The tag makes a recycled-and-repushed block compare unequal, so
+      // the chain_next read below cannot be stitched onto the wrong
+      // successor (a stale read is of a constructed atomic in mapped slab
+      // memory; its value is discarded when the CAS fails).
+      const std::uint64_t next =
+          (reinterpret_cast<std::uint64_t>(
+               chain_next(block).load(std::memory_order_relaxed)) &
+           kPtrMask) |
+          (((head >> 48) + 1) << 48);
       if (shard.head.compare_exchange_weak(head, next,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-        return node;
+        return block;
       }
     }
   }
 
   void push_block(Shard& shard, void* block) {
-    auto* node = ::new (block) FreeNode{nullptr};
     std::uint64_t head = shard.head.load(std::memory_order_relaxed);
     while (true) {
-      node->next = unpack(head);
-      const std::uint64_t packed = pack(node, (head >> 48) + 1);
+      chain_next(block).store(reinterpret_cast<void*>(head & kPtrMask),
+                              std::memory_order_relaxed);
+      const std::uint64_t packed =
+          (reinterpret_cast<std::uint64_t>(block) & kPtrMask) |
+          (((head >> 48) + 1) << 48);
       if (shard.head.compare_exchange_weak(head, packed,
                                            std::memory_order_release,
                                            std::memory_order_relaxed)) {
@@ -112,6 +223,11 @@ class Pool {
     }
   }
 
+  const std::uint64_t id_ = detail::next_instance_id();
+  std::atomic<std::uint64_t> shard_seq_{0};
+  /// Packed carve cursor: [next block index : 16][slab pointer : 48].
+  std::atomic<std::uint64_t> bump_{0};
+  std::atomic<Slab*> slabs_{nullptr};
   Shard shards_[kShards];
 };
 

@@ -4,10 +4,11 @@
 # Usage: scripts/ci.sh [build-dir]
 #   R2D_SANITIZER=asan|tsan  configure the sanitizer toggle
 #
-# Sanitizer configs additionally smoke the packed-head benches (packed
-# pointers are easy to get wrong under ASan/TSan); the plain config adds a
-# Release-mode perf smoke that records machine-readable bench points as
-# BENCH_micro.json / BENCH_fig2.json (ops/s per structure, host core
+# Sanitizer configs additionally smoke the packed-head and allocation
+# benches (packed pointers and free-list splices are easy to get wrong
+# under ASan/TSan); the plain config adds a Release-mode perf smoke that
+# records machine-readable bench points as BENCH_micro.json /
+# BENCH_fig2.json / BENCH_alloc.json (ops/s per structure, host core
 # count, git sha — see bench/common.hpp for the schema).
 set -euo pipefail
 
@@ -35,9 +36,18 @@ R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
 if [ -x "$BUILD_DIR/micro_ops" ]; then
   # Runs under whatever sanitizer this config selected — the assertion
   # that the packed head-word fast paths are clean under ASan/TSan too.
+  # The filter also covers the TreiberPool/TwoDPool rows, so the
+  # pool-policy containers recycle under ASan (real frees) and TSan.
   echo "=== smoke: micro_ops ==="
   "$BUILD_DIR/micro_ops" --benchmark_filter='single/' \
     --benchmark_min_time=0.02
+fi
+if [ -x "$BUILD_DIR/ablation_allocation" ]; then
+  # The allocation matrix (heap / pool / pool+magazine, solo + contended)
+  # under ASan exercises real slab recycling; under TSan it hammers the
+  # tagged splice CASes.
+  echo "=== smoke: ablation_allocation ==="
+  "$BUILD_DIR/ablation_allocation" --benchmark_min_time=0.02
 fi
 
 # Perf trajectory: a Release-mode smoke that records bench points. Skipped
@@ -48,7 +58,7 @@ if [ -z "$SANITIZER" ]; then
   GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   # Drop stale trajectory files so the -s assertions below can only pass
   # on output this run actually wrote.
-  rm -f BENCH_micro.json BENCH_fig2.json BENCH_deque.json
+  rm -f BENCH_micro.json BENCH_fig2.json BENCH_deque.json BENCH_alloc.json
   cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DR2D_SANITIZER=
   cmake --build "$PERF_DIR" -j "$(nproc)"
   if [ -x "$PERF_DIR/micro_ops" ]; then
@@ -60,6 +70,15 @@ if [ -z "$SANITIZER" ]; then
   else
     echo "perf smoke: micro_ops not built (no google-benchmark); skipping" \
          "BENCH_micro.json"
+  fi
+  if [ -x "$PERF_DIR/ablation_allocation" ]; then
+    echo "=== perf smoke: ablation_allocation -> BENCH_alloc.json ==="
+    R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_alloc.json \
+      "$PERF_DIR/ablation_allocation" --benchmark_min_time=0.05
+    test -s BENCH_alloc.json
+  else
+    echo "perf smoke: ablation_allocation not built (no google-benchmark);" \
+         "skipping BENCH_alloc.json"
   fi
   echo "=== perf smoke: fig2_thread_sweep -> BENCH_fig2.json ==="
   R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_fig2.json \

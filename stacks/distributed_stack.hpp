@@ -20,16 +20,17 @@
 #include <utility>
 
 #include "core/substack.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 
 namespace r2d::stacks {
 
 namespace detail {
 
-/// Shared column-array machinery: storage, single-column push/pop
-/// attempts, and the pop fallback scan that distinguishes "my column is
-/// empty" from "the stack is empty".
-template <typename T, typename Reclaimer>
+/// Shared column-array machinery: storage, node allocation, single-column
+/// push/pop attempts, and the pop fallback scan that distinguishes "my
+/// column is empty" from "the stack is empty".
+template <typename T, typename Reclaimer, template <typename> class Alloc>
 class ColumnArrayStack {
   protected:
   using Node = core::StackNode<T>;
@@ -41,7 +42,13 @@ class ColumnArrayStack {
         columns_(new Column[width_]) {}
 
   ~ColumnArrayStack() {
-    for (std::size_t i = 0; i < width_; ++i) core::drain_column(columns_[i]);
+    for (std::size_t i = 0; i < width_; ++i) {
+      core::drain_column(columns_[i], alloc_);
+    }
+  }
+
+  Node* make_node(T&& value) {
+    return alloc_.acquire(nullptr, std::move(value));
   }
 
   /// One CAS attempt; on success the node is linked. No dereference, no
@@ -72,7 +79,7 @@ class ColumnArrayStack {
             core::pack_head(next, core::packed_count_after_pop(word, next)),
             std::memory_order_acq_rel, std::memory_order_relaxed)) {
       T value = std::move(head->value);
-      guard.retire(head);
+      guard.retire(head, alloc_);
       return value;
     }
     return std::nullopt;
@@ -116,14 +123,17 @@ class ColumnArrayStack {
  protected:
   std::size_t width_;
   std::unique_ptr<Column[]> columns_;
+  // alloc_ before reclaimer_: deferred retires drain into it (DESIGN.md §10).
+  [[no_unique_address]] Alloc<Node> alloc_;
   Reclaimer reclaimer_;
 };
 
 }  // namespace detail
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
-class RandomStack : public detail::ColumnArrayStack<T, Reclaimer> {
-  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
+class RandomStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer, Alloc>;
   using Node = typename Base::Node;
 
  public:
@@ -133,7 +143,7 @@ class RandomStack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit RandomStack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = this->make_node(std::move(value));
     while (!this->try_push_at(this->random_index(), node)) {
     }
   }
@@ -156,9 +166,10 @@ class RandomStack : public detail::ColumnArrayStack<T, Reclaimer> {
   }
 };
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
-class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
-  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
+class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer, Alloc>;
   using Node = typename Base::Node;
 
  public:
@@ -168,7 +179,7 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit RandomC2Stack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = this->make_node(std::move(value));
     while (true) {
       const auto [a, b] = sample_two();
       // Push to the shorter column: keeps the columns balanced, which is
@@ -201,9 +212,10 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer> {
   }
 };
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
-class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer> {
-  using Base = detail::ColumnArrayStack<T, Reclaimer>;
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
+class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
+  using Base = detail::ColumnArrayStack<T, Reclaimer, Alloc>;
   using Node = typename Base::Node;
 
  public:
@@ -213,7 +225,7 @@ class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer> {
   explicit KRobinStack(std::size_t width) : Base(width) {}
 
   void push(T value) {
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = this->make_node(std::move(value));
     std::size_t index = next_index();
     while (!this->try_push_at(index, node)) {
       index = next_index();

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "core/substack.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"
 
@@ -32,7 +33,8 @@ struct EliminationParams {
   unsigned cas_attempts = 2;         ///< central CAS failures before backoff
 };
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
 class EliminationStack {
   using Node = core::StackNode<T>;
 
@@ -67,6 +69,7 @@ class EliminationStack {
  public:
   using value_type = T;
   using reclaimer_type = Reclaimer;
+  using allocator_type = Alloc<Node>;
 
   explicit EliminationStack(EliminationParams params = {})
       : params_(params),
@@ -80,13 +83,13 @@ class EliminationStack {
 
   EliminationStack(const EliminationStack&) = delete;
   EliminationStack& operator=(const EliminationStack&) = delete;
-  ~EliminationStack() { core::drain_column(column_); }
+  ~EliminationStack() { core::drain_column(column_, alloc_); }
 
   void push(T value) {
     // Packed-head pushes never dereference the old head, so neither the
     // central-stack attempts nor the collision path (whose records live in
     // a process-lifetime pool) need the reclaimer.
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = alloc_.acquire(nullptr, std::move(value));
     while (true) {
       std::uint64_t word = column_.head.load(std::memory_order_acquire);
       for (unsigned attempt = 0;; ++attempt) {
@@ -100,7 +103,7 @@ class EliminationStack {
         if (attempt + 1 >= params_.cas_attempts) break;
       }
       if (try_eliminate_push(node->value)) {
-        delete node;  // never shared
+        alloc_.release(node);  // never shared
         return;
       }
     }
@@ -124,7 +127,7 @@ class EliminationStack {
                                   core::packed_count_after_pop(word, next)),
                   std::memory_order_acq_rel, std::memory_order_relaxed)) {
             T value = std::move(head->value);
-            guard.retire(head);
+            guard.retire(head, alloc_);
             return value;
           }
           if (attempt + 1 >= params_.cas_attempts) break;
@@ -279,6 +282,8 @@ class EliminationStack {
   const std::uint64_t id_ = reclaim::detail::next_instance_id();
   core::StackColumn<T> column_;
   std::unique_ptr<std::atomic<Record*>[]> slots_;
+  // alloc_ before reclaimer_: deferred retires drain into it (DESIGN.md §10).
+  [[no_unique_address]] Alloc<Node> alloc_;
   Reclaimer reclaimer_;
 };
 

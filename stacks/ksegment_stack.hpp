@@ -17,11 +17,13 @@
 #include <utility>
 
 #include "core/substack.hpp"  // hop_rand
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 
 namespace r2d::stacks {
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
 class KSegmentStack {
   struct Item {
     T value;
@@ -34,11 +36,9 @@ class KSegmentStack {
         cells[i].store(nullptr, std::memory_order_relaxed);
       }
     }
-    ~Segment() {
-      for (std::size_t i = 0; i < k; ++i) {
-        delete cells[i].load(std::memory_order_relaxed);
-      }
-    }
+    // Items left in the cells belong to the stack's item allocator; the
+    // stack's destructor drains them before releasing the segment (a
+    // segment retired mid-run is certified empty first).
     const std::size_t k;
     Segment* const next;  ///< toward the bottom; immutable after linking
     std::atomic<bool> deleted{false};
@@ -48,10 +48,11 @@ class KSegmentStack {
  public:
   using value_type = T;
   using reclaimer_type = Reclaimer;
+  using allocator_type = Alloc<Item>;
 
-  explicit KSegmentStack(std::size_t k)
-      : k_(std::max<std::size_t>(1, k)),
-        top_(new Segment(k_, nullptr)) {}
+  explicit KSegmentStack(std::size_t k) : k_(std::max<std::size_t>(1, k)) {
+    top_.store(seg_alloc_.acquire(k_, nullptr), std::memory_order_relaxed);
+  }
 
   KSegmentStack(const KSegmentStack&) = delete;
   KSegmentStack& operator=(const KSegmentStack&) = delete;
@@ -60,24 +61,29 @@ class KSegmentStack {
     Segment* segment = top_.load(std::memory_order_relaxed);
     while (segment != nullptr) {
       Segment* next = segment->next;
-      delete segment;
+      for (std::size_t i = 0; i < segment->k; ++i) {
+        if (Item* item = segment->cells[i].load(std::memory_order_relaxed)) {
+          item_alloc_.release(item);
+        }
+      }
+      seg_alloc_.release(segment);
       segment = next;
     }
   }
 
   void push(T value) {
     auto guard = reclaimer_.pin();
-    Item* item = new Item{std::move(value)};
+    Item* item = item_alloc_.acquire(std::move(value));
     while (true) {
       Segment* top = guard.protect(top_);
       if (try_insert(top, item)) return;
       // Top segment full: stack a fresh segment on it.
-      Segment* grown = new Segment(k_, top);
+      Segment* grown = seg_alloc_.acquire(k_, top);
       Segment* expected = top;
       if (!top_.compare_exchange_strong(expected, grown,
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {
-        delete grown;
+        seg_alloc_.release(grown);
       }
     }
   }
@@ -88,7 +94,7 @@ class KSegmentStack {
       Segment* top = guard.protect(top_);
       if (Item* item = try_remove(top)) {
         T value = std::move(item->value);
-        guard.retire(item);
+        guard.retire(item, item_alloc_);
         return value;
       }
       // Top observed empty. Bottom segment: report empty instead of
@@ -114,7 +120,8 @@ class KSegmentStack {
       if (top_.compare_exchange_strong(expected, top->next,
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed)) {
-        guard.retire(top);  // mark stays set: stragglers keep retracting
+        // Mark stays set: stragglers keep retracting.
+        guard.retire(top, seg_alloc_);
       } else {
         // A pusher stacked a new segment above us (only the marker may
         // unlink, so top_ changing means growth): the segment stays
@@ -198,7 +205,11 @@ class KSegmentStack {
   }
 
   const std::size_t k_;
-  std::atomic<Segment*> top_;
+  // Allocators before reclaimer_: its destructor drains deferred retires
+  // (items and segments) into them (DESIGN.md §10).
+  [[no_unique_address]] Alloc<Item> item_alloc_;
+  [[no_unique_address]] Alloc<Segment> seg_alloc_;
+  std::atomic<Segment*> top_{nullptr};
   Reclaimer reclaimer_;
 };
 

@@ -13,25 +13,28 @@
 #include <utility>
 
 #include "core/substack.hpp"
+#include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 
 namespace r2d::stacks {
 
-template <typename T, typename Reclaimer = reclaim::EpochReclaimer>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc>
 class TreiberStack {
   using Node = core::StackNode<T>;
 
  public:
   using value_type = T;
   using reclaimer_type = Reclaimer;
+  using allocator_type = Alloc<Node>;
 
   TreiberStack() = default;
   TreiberStack(const TreiberStack&) = delete;
   TreiberStack& operator=(const TreiberStack&) = delete;
-  ~TreiberStack() { core::drain_column(column_); }
+  ~TreiberStack() { core::drain_column(column_, alloc_); }
 
   void push(T value) {
-    Node* node = new Node{nullptr, std::move(value)};
+    Node* node = alloc_.acquire(nullptr, std::move(value));
     std::uint64_t word = column_.head.load(std::memory_order_acquire);
     while (true) {
       node->next = core::head_node<T>(word);
@@ -59,7 +62,7 @@ class TreiberStack {
               core::pack_head(next, core::packed_count_after_pop(word, next)),
               std::memory_order_acq_rel, std::memory_order_relaxed)) {
         T value = std::move(head->value);
-        guard.retire(head);
+        guard.retire(head, alloc_);
         return value;
       }
       // Re-cover the new head before dereferencing it (hazard policies
@@ -78,6 +81,8 @@ class TreiberStack {
 
  private:
   core::StackColumn<T> column_;
+  // alloc_ before reclaimer_: deferred retires drain into it (DESIGN.md §10).
+  [[no_unique_address]] Alloc<Node> alloc_;
   Reclaimer reclaimer_;
 };
 
