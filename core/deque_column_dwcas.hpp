@@ -1,0 +1,332 @@
+// The lock-free deque column backend: both ends of the column live in one
+// 16-byte {front, back} head updated with a double-width CAS
+// (core/dwcas.hpp), in the style of Michael's CAS-based deque (Euro-Par
+// 2003) — the anchor carries the two end pointers plus a 2-bit status, and
+// a push onto a non-empty column leaves the head in a "push pending" state
+// until the displaced end's inward link is *bridged* to the new node.
+//
+// One deliberate departure from the paper: the status flip back to stable
+// is lazy. Michael's pusher bridges and then pays a second anchor CAS just
+// to clear the status; here the pusher only bridges, and the *next*
+// operation on the column folds the reset into the head CAS it performs
+// anyway (every successful operation rewrites w0, so carrying the fresh
+// status is free). An operation that meets a pending head first ensures
+// the bridge (cheap when the pusher already did it: one link load), so
+// the links it traverses are always valid; at quiescence the last
+// pusher's bridge always completed (nothing can have invalidated its head
+// snapshot), so teardown sees a fully bridged chain even if the status
+// word still says pending. Net effect: a push is one 16-byte CAS plus at
+// most one one-word bridge CAS, not two 16-byte CASes.
+//
+// Word layout (48-bit canonical pointers, as core/substack.hpp asserts):
+//
+//   w0 (front): [ tag:14 ][ status:2 ][ front node ptr:48 ]
+//   w1 (back):  [ tag:16 ]            [ back  node ptr:48 ]
+//
+// Every CAS rewrites w0 (pointer, status, or both) and bumps its tag, and
+// bumps w1's tag whenever the back pointer changes, giving per-end ABA
+// protection: a stale snapshot can never win the 16-byte compare. Tag
+// wrap (2^14 front / 2^16 back writes inside one protected window) is the
+// accepted residual, as with the pool's 16-bit splice tags.
+//
+// Ownership pipeline (DESIGN.md §10/§11): node lifetime is no longer
+// governed by a lock, so the head snapshot is taken through the
+// reclaimer's protect_pair (hazard publishes both end pointers and
+// revalidates; epoch's announcement covers them), stabilization shields
+// the one extra node it dereferences via protect_raw + head revalidation,
+// and popped nodes go through retire(node, alloc) back to the owning
+// allocator. Eligibility probes and certification scans still read only
+// the adjacent packed flow word (core/deque_flow.hpp), published with one
+// release fetch_add right after each successful head CAS — one load, no
+// dereference, no guard, exactly as on the locked backend.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/deque_column_locked.hpp"
+#include "core/deque_flow.hpp"
+#include "core/dwcas.hpp"
+#include "core/substack.hpp"  // kPackedPtrMask
+#include "core/window.hpp"
+
+namespace r2d::core {
+
+#if R2D_HAS_DWCAS
+
+template <typename T>
+class alignas(64) DwcasDequeColumn {
+ public:
+  struct Node {
+    std::atomic<Node*> prev;  ///< toward the front
+    std::atomic<Node*> next;  ///< toward the back
+    T value;
+  };
+
+  static constexpr bool kLockFree = true;
+  static constexpr const char* kBackendName = "dwcas";
+
+  /// Packed biased flows (core/deque_flow.hpp), published with a release
+  /// fetch_add immediately after each successful head CAS. Probes read
+  /// only this word.
+  std::atomic<std::uint64_t> flows{kFlowInit};
+
+  /// One push attempt: dereference-free flow probe, protected head
+  /// snapshot, one DWCAS, then the bridge of the displaced end's inward
+  /// link (the lazy status reset is left to the column's next operation —
+  /// see header). A lost CAS, or a pending head whose snapshot went stale
+  /// while we ensured its bridge, reads as contention; the flow probe is
+  /// re-checked on the pinned snapshot so the window predicate is as
+  /// fresh as the locked backend's under-lock re-check.
+  template <bool kFront, typename Reclaimer, typename NodeAlloc>
+  Probe try_push(Node* node, std::uint64_t max, Reclaimer& reclaimer,
+                 NodeAlloc& /*alloc*/) {
+    if (end_flow<kFront>(flows.load(std::memory_order_acquire)) >= max) {
+      return Probe::kIneligible;
+    }
+    auto guard = reclaimer.pin();
+    const Anchor a = protect_anchor(guard);
+    if (a.front == nullptr) {
+      if (end_flow<kFront>(flows.load(std::memory_order_relaxed)) >= max) {
+        return Probe::kIneligible;  // window moved while we pinned
+      }
+      node->prev.store(nullptr, std::memory_order_relaxed);
+      node->next.store(nullptr, std::memory_order_relaxed);
+      const WordPair desired{pack_front(node, kStable, front_tag(a) + 1),
+                             pack_back(node, back_tag(a) + 1)};
+      if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+      flows.fetch_add(flow_step<kFront>(), std::memory_order_release);
+      return Probe::kSuccess;
+    }
+    if (a.status != kStable && !ensure_bridged(a, guard)) {
+      return Probe::kContended;
+    }
+    if (end_flow<kFront>(flows.load(std::memory_order_relaxed)) >= max) {
+      return Probe::kIneligible;
+    }
+    WordPair desired;
+    if constexpr (kFront) {
+      node->prev.store(nullptr, std::memory_order_relaxed);
+      node->next.store(a.front, std::memory_order_relaxed);
+      desired = WordPair{pack_front(node, kPushFront, front_tag(a) + 1),
+                         a.words.w1};
+    } else {
+      node->next.store(nullptr, std::memory_order_relaxed);
+      node->prev.store(a.back, std::memory_order_relaxed);
+      desired = WordPair{pack_front(a.front, kPushBack, front_tag(a) + 1),
+                         pack_back(node, back_tag(a) + 1)};
+    }
+    if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+    flows.fetch_add(flow_step<kFront>(), std::memory_order_release);
+    // Bridge immediately, while the line is hot: the pusher already knows
+    // the end it displaced (still shielded in slots 0/1 from
+    // protect_anchor), so no deref or extra publish is needed.
+    bridge<kFront>(unpack(desired), node, kFront ? a.front : a.back);
+    return Probe::kSuccess;
+  }
+
+  /// One pop attempt from end kFront. A pending head has its bridge
+  /// ensured first, so the neighbor link installed as the new end is
+  /// always valid; the pop's own CAS resets the status to stable, and the
+  /// popped node is retired through the reclaimer.
+  template <bool kFront, typename Reclaimer, typename NodeAlloc>
+  Probe try_pop(std::optional<T>& out, std::uint64_t max, std::uint64_t depth,
+                Reclaimer& reclaimer, NodeAlloc& alloc) {
+    {
+      const std::uint64_t word = flows.load(std::memory_order_acquire);
+      if (flow_occupancy(word) == 0 || end_flow<kFront>(word) <= max - depth) {
+        return Probe::kIneligible;
+      }
+    }
+    auto guard = reclaimer.pin();
+    const Anchor a = protect_anchor(guard);
+    if (a.front == nullptr) {
+      // The flow word briefly trails the head CAS of in-flight operations;
+      // the head itself is the truth.
+      return Probe::kIneligible;
+    }
+    if (a.status != kStable && !ensure_bridged(a, guard)) {
+      return Probe::kContended;
+    }
+    {
+      const std::uint64_t word = flows.load(std::memory_order_relaxed);
+      if (flow_occupancy(word) == 0 || end_flow<kFront>(word) <= max - depth) {
+        return Probe::kIneligible;
+      }
+    }
+    Node* const node = kFront ? a.front : a.back;
+    WordPair desired;
+    if (a.front == a.back) {
+      desired = WordPair{pack_front(nullptr, kStable, front_tag(a) + 1),
+                         pack_back(nullptr, back_tag(a) + 1)};
+    } else if constexpr (kFront) {
+      desired =
+          WordPair{pack_front(node->next.load(std::memory_order_acquire),
+                              kStable, front_tag(a) + 1),
+                   a.words.w1};
+    } else {
+      desired =
+          WordPair{pack_front(a.front, kStable, front_tag(a) + 1),
+                   pack_back(node->prev.load(std::memory_order_acquire),
+                             back_tag(a) + 1)};
+    }
+    if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+    flows.fetch_sub(flow_step<kFront>(), std::memory_order_release);
+    out = std::move(node->value);
+    guard.retire(node, alloc);
+    return Probe::kSuccess;
+  }
+
+  /// Single-threaded teardown. The status word may still say pending (the
+  /// reset is lazy), but the bridge itself always completed by quiescence:
+  /// the last successful push's bridge ran with a head nothing could have
+  /// invalidated, and every earlier pending push was bridged by the
+  /// operation that followed it. So the next chain from the front is fully
+  /// bridged up to the anchor's back node — and the walk must stop
+  /// *there*, not at a null link: pops never scrub the stale outward links
+  /// of the nodes they remove, so the back node's next may still point at
+  /// a node long since retired.
+  template <typename NodeAlloc>
+  void drain(NodeAlloc& alloc) {
+    Node* node = word_node(head_.w0.load(std::memory_order_relaxed));
+    Node* const back = word_node(head_.w1.load(std::memory_order_relaxed));
+    head_.w0.store(0, std::memory_order_relaxed);
+    head_.w1.store(0, std::memory_order_relaxed);
+    flows.store(kFlowInit, std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next =
+          node == back ? nullptr : node->next.load(std::memory_order_relaxed);
+      alloc.release(node);
+      node = next;
+    }
+  }
+
+ private:
+  static constexpr unsigned kStable = 0;
+  static constexpr unsigned kPushFront = 1;
+  static constexpr unsigned kPushBack = 2;
+
+  /// A decoded, reclaimer-protected head snapshot.
+  struct Anchor {
+    WordPair words;
+    Node* front;
+    Node* back;
+    unsigned status;
+  };
+
+  static Node* word_node(std::uint64_t w) {
+    return reinterpret_cast<Node*>(w & kPackedPtrMask);
+  }
+  static std::uint64_t front_tag(const Anchor& a) { return a.words.w0 >> 50; }
+  static std::uint64_t back_tag(const Anchor& a) { return a.words.w1 >> 48; }
+
+  static std::uint64_t pack_front(Node* node, unsigned status,
+                                  std::uint64_t tag) {
+    assert((reinterpret_cast<std::uint64_t>(node) & ~kPackedPtrMask) == 0 &&
+           "node pointer exceeds the 48-bit packed range");
+    return ((tag & 0x3fff) << 50) | (static_cast<std::uint64_t>(status) << 48) |
+           (reinterpret_cast<std::uint64_t>(node) & kPackedPtrMask);
+  }
+  static std::uint64_t pack_back(Node* node, std::uint64_t tag) {
+    assert((reinterpret_cast<std::uint64_t>(node) & ~kPackedPtrMask) == 0 &&
+           "node pointer exceeds the 48-bit packed range");
+    return ((tag & 0xffff) << 48) |
+           (reinterpret_cast<std::uint64_t>(node) & kPackedPtrMask);
+  }
+
+  static Anchor unpack(const WordPair& w) {
+    return Anchor{w, word_node(w.w0), word_node(w.w1),
+                  static_cast<unsigned>((w.w0 >> 48) & 3)};
+  }
+
+  /// Consistent snapshot with both end pointers shielded by the reclaimer
+  /// policy (hazard: publish + revalidate in slots 0/1; epoch: one load).
+  template <typename Guard>
+  Anchor protect_anchor(Guard& guard) {
+    const WordPair w = guard.protect_pair(
+        [this] { return dwcas_snapshot(head_); },
+        [](const WordPair& p) {
+          return std::pair<void*, void*>(word_node(p.w0), word_node(p.w1));
+        });
+    return unpack(w);
+  }
+
+  bool anchor_unchanged(const Anchor& a) const {
+    return dwcas_snapshot(head_) == a.words;
+  }
+
+  /// Ensure the pending push recorded in snapshot `a` is bridged before
+  /// this operation proceeds (it will traverse or displace the links the
+  /// bridge completes). Derives the freshly pushed end e and the old end o
+  /// from the snapshot, shields o (the one node the snapshot's two
+  /// protected pointers don't cover), revalidates, then bridges. Returns
+  /// false when the head moved under us — the snapshot (and thus the
+  /// caller's planned CAS) is stale, so the caller reports contention.
+  /// The per-end tags make "head unchanged" mean "no successful CAS since
+  /// the snapshot", so both nodes are still in the column when the
+  /// revalidation passes.
+  template <typename Guard>
+  bool ensure_bridged(const Anchor& a, Guard& guard) {
+    if (a.status == kPushFront) return ensure_bridged_end<true>(a, guard);
+    return ensure_bridged_end<false>(a, guard);
+  }
+
+  template <bool kFront, typename Guard>
+  bool ensure_bridged_end(const Anchor& a, Guard& guard) {
+    Node* const e = kFront ? a.front : a.back;
+    Node* const o = kFront ? e->next.load(std::memory_order_acquire)
+                           : e->prev.load(std::memory_order_acquire);
+    guard.protect_raw(o, 2);
+    if (!anchor_unchanged(a)) return false;
+    return bridge<kFront>(a, e, o);
+  }
+
+  /// Bridge the old end o's inward link to the freshly pushed node e
+  /// (both already shielded by the caller). Returns true once the bridge
+  /// is known complete — by us, or by a helper of the same pending push
+  /// (with the head validated unchanged, this push's helpers are the only
+  /// writers of the link, and they all write e); false when the head
+  /// moved before that could be established.
+  ///
+  /// Residual (DESIGN.md §11): `cur` can be a stale outward link to a
+  /// node retired before this guard's pin, whose address the allocator
+  /// may recycle during the head-unchanged-to-CAS window of a preempted
+  /// bridger; a recycled match there would misdirect the link. The window
+  /// is a few instructions wide and the match requires the allocator to
+  /// re-issue one specific address into one specific adjacency — the same
+  /// vanishing class as the head's tag wrap, and the reason the check
+  /// sits immediately before the CAS.
+  template <bool kFront>
+  bool bridge(const Anchor& a, Node* e, Node* o) {
+    std::atomic<Node*>& link = kFront ? o->prev : o->next;
+    Node* cur = link.load(std::memory_order_acquire);
+    if (cur == e) return true;
+    if (!anchor_unchanged(a)) return false;
+    link.compare_exchange_strong(cur, e, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed);
+    return true;
+  }
+
+  DwcasWords head_;
+};
+
+#else  // !R2D_HAS_DWCAS
+
+/// Documented fallback: hosts without a 16-byte CAS get the locked backend
+/// under the dwcas name, so every instantiation still compiles; benches
+/// and tests report which arm actually ran via kBackendName / kLockFree.
+template <typename T>
+using DwcasDequeColumn = LockedDequeColumn<T>;
+
+#endif  // R2D_HAS_DWCAS
+
+/// The library default: lock-free columns wherever the hardware allows,
+/// the locked fallback elsewhere (R2D_DEQUE_COLS picks explicitly at the
+/// bench/harness layer).
+template <typename T>
+using DefaultDequeColumn = DwcasDequeColumn<T>;
+
+}  // namespace r2d::core

@@ -1,0 +1,165 @@
+// The locked deque column backend: a doubly-linked list serialized by a
+// one-word TTAS spinlock (MultiQueue-style: many columns, short critical
+// sections, hops on contention), extracted verbatim from TwoDDeque (PR 3)
+// when the column representation became a pluggable policy.
+//
+// Both biased 32-bit end-flows (core/deque_flow.hpp) are packed into one
+// atomic word stored under the lock after every mutation — the column's
+// linearization point — so window probes, certification scans, empty() and
+// approx_size() read one atomic word with no dereference and no lock. A
+// held lock reads as Probe::kContended (hop away, like a lost CAS); the
+// window predicate is re-verified under the lock because the flow may have
+// moved while we spun.
+//
+// Node lifetime *is* governed by the lock (no concurrent reader can hold a
+// pointer into the list), so popped nodes could legally go straight back
+// to the allocator — but they are routed through retire(node, alloc)
+// anyway, so both column backends obey the same ownership pipeline and
+// member-order contract (alloc before reclaimer, DESIGN.md §10) and the
+// destruction-order tests cover the deque identically on either backend.
+//
+// This backend is also the documented fallback when the build has no
+// 16-byte CAS (core/dwcas.hpp): R2D_HAS_DWCAS == 0 aliases the dwcas
+// backend name onto this type.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/deque_flow.hpp"
+#include "core/window.hpp"
+
+namespace r2d::core {
+
+template <typename T>
+class alignas(64) LockedDequeColumn {
+ public:
+  struct Node {
+    Node* prev;
+    Node* next;
+    T value;
+  };
+
+  static constexpr bool kLockFree = false;
+  static constexpr const char* kBackendName = "locked";
+
+  /// Packed biased flows: [front flow + bias : 32][back flow + bias : 32],
+  /// stored under the lock after every mutation (the column's
+  /// linearization point). Window probes and certification scans read
+  /// only this word.
+  std::atomic<std::uint64_t> flows{kFlowInit};
+
+  /// One push attempt: dereference-free flow probe, then the exact
+  /// re-check under the column lock.
+  template <bool kFront, typename Reclaimer, typename NodeAlloc>
+  Probe try_push(Node* node, std::uint64_t max, Reclaimer& /*reclaimer*/,
+                 NodeAlloc& /*alloc*/) {
+    if (end_flow<kFront>(flows.load(std::memory_order_acquire)) >= max) {
+      return Probe::kIneligible;
+    }
+    if (!try_lock()) return Probe::kContended;
+    const std::uint64_t word = flows.load(std::memory_order_relaxed);
+    if (end_flow<kFront>(word) >= max) {
+      unlock();
+      return Probe::kIneligible;
+    }
+    if constexpr (kFront) {
+      node->prev = nullptr;
+      node->next = front_;
+      if (front_ != nullptr) {
+        front_->prev = node;
+      } else {
+        back_ = node;
+      }
+      front_ = node;
+    } else {
+      node->next = nullptr;
+      node->prev = back_;
+      if (back_ != nullptr) {
+        back_->next = node;
+      } else {
+        front_ = node;
+      }
+      back_ = node;
+    }
+    flows.store(word + flow_step<kFront>(), std::memory_order_release);
+    unlock();
+    return Probe::kSuccess;
+  }
+
+  /// One pop attempt from end kFront under window `max` with band depth
+  /// `depth`; on success the value is moved into `out` and the node goes
+  /// through the reclaimer's retire path back to `alloc`.
+  template <bool kFront, typename Reclaimer, typename NodeAlloc>
+  Probe try_pop(std::optional<T>& out, std::uint64_t max, std::uint64_t depth,
+                Reclaimer& reclaimer, NodeAlloc& alloc) {
+    {
+      const std::uint64_t word = flows.load(std::memory_order_acquire);
+      if (flow_occupancy(word) == 0 || end_flow<kFront>(word) <= max - depth) {
+        return Probe::kIneligible;
+      }
+    }
+    if (!try_lock()) return Probe::kContended;
+    const std::uint64_t word = flows.load(std::memory_order_relaxed);
+    if (flow_occupancy(word) == 0 || end_flow<kFront>(word) <= max - depth) {
+      unlock();
+      return Probe::kIneligible;
+    }
+    Node* node;
+    if constexpr (kFront) {
+      node = front_;
+      front_ = node->next;
+      if (front_ != nullptr) {
+        front_->prev = nullptr;
+      } else {
+        back_ = nullptr;
+      }
+    } else {
+      node = back_;
+      back_ = node->prev;
+      if (back_ != nullptr) {
+        back_->next = nullptr;
+      } else {
+        front_ = nullptr;
+      }
+    }
+    flows.store(word - flow_step<kFront>(), std::memory_order_release);
+    unlock();
+    out = std::move(node->value);
+    // The lock already guarantees no concurrent reader holds `node`, but
+    // the block still flows retire -> reclaimer -> alloc like every other
+    // container's (see header comment).
+    reclaimer.pin().retire(node, alloc);
+    return Probe::kSuccess;
+  }
+
+  /// Single-threaded teardown: every node back to the owning allocator.
+  template <typename NodeAlloc>
+  void drain(NodeAlloc& alloc) {
+    Node* node = front_;
+    front_ = nullptr;
+    back_ = nullptr;
+    flows.store(kFlowInit, std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next;
+      alloc.release(node);
+      node = next;
+    }
+  }
+
+ private:
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  /// One-word TTAS spinlock over {front_, back_} and the list links.
+  std::atomic<bool> locked_{false};
+  Node* front_ = nullptr;
+  Node* back_ = nullptr;
+};
+
+}  // namespace r2d::core

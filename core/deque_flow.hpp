@@ -1,0 +1,61 @@
+// The packed per-column end-flow word every deque column backend publishes
+// and every window probe reads.
+//
+// A column's occupancy says nothing about how out-of-order its front or
+// back item is, so the deque's two windows range over per-column signed
+// *end-flows* instead: the front flow f = front-pushes - front-pops and
+// the back flow b = back-pushes - back-pops (DESIGN.md §9). Both flows are
+// biased 32-bit counters packed into one 64-bit atomic —
+// [f + bias : 32][b + bias : 32] — so eligibility probes, certification
+// scans, empty() and approx_size() read a single word per column with no
+// dereference, no lock, and no reclaimer guard, whichever backend owns the
+// column's structure. The 31-bit signed range caps per-column lifetime
+// end-flow drift at ~2.1e9 operations; occupancy is the exact sum f + b,
+// so count == 0 <=> empty needs no saturation protocol.
+//
+// Who writes the word is backend policy: the locked backend stores it
+// under the column lock (the column's linearization point), the DWCAS
+// backend publishes it with one release fetch_add immediately after the
+// successful head CAS (the deltas commute, so no CAS loop is needed; see
+// DESIGN.md §11 for why the probe stays sound with that small lag).
+#pragma once
+
+#include <cstdint>
+
+namespace r2d::core {
+
+/// Center of the biased 32-bit flow representation: a stored field of
+/// kFlowBias means "net zero". Windows live on the same biased scale, so
+/// every eligibility comparison is plain unsigned arithmetic.
+inline constexpr std::uint64_t kFlowBias = std::uint64_t{1} << 31;
+
+/// Both flows at net zero — the empty column's word.
+inline constexpr std::uint64_t kFlowInit = (kFlowBias << 32) | kFlowBias;
+
+inline constexpr std::uint64_t front_flow(std::uint64_t word) {
+  return word >> 32;
+}
+inline constexpr std::uint64_t back_flow(std::uint64_t word) {
+  return word & 0xffffffffu;
+}
+
+/// Exact occupancy: the biases cancel in f + b.
+inline constexpr std::uint64_t flow_occupancy(std::uint64_t word) {
+  return front_flow(word) + back_flow(word) - 2 * kFlowBias;
+}
+
+/// The end-flow a given end's window ranges over, on the biased scale.
+template <bool kFront>
+inline constexpr std::uint64_t end_flow(std::uint64_t word) {
+  return kFront ? front_flow(word) : back_flow(word);
+}
+
+/// The packed-word delta that moves one end's flow by +1 (negate or
+/// subtract for -1). Two's-complement wrap keeps the adjacent field intact
+/// until a flow exceeds its 31-bit range, the documented drift cap.
+template <bool kFront>
+inline constexpr std::uint64_t flow_step() {
+  return kFront ? (std::uint64_t{1} << 32) : std::uint64_t{1};
+}
+
+}  // namespace r2d::core

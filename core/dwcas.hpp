@@ -1,0 +1,114 @@
+// Double-width (16-byte) compare-and-swap: the primitive the lock-free
+// deque column backend (core/deque_column_dwcas.hpp) builds its two-word
+// {front, back} head on.
+//
+// Capability: the compiler advertises an inline-expandable 16-byte __sync
+// CAS via __GCC_HAVE_SYNC_COMPARE_AND_SWAP_16 — on x86-64 that is
+// cmpxchg16b (requires -mcx16, which the root CMakeLists adds after a
+// compile check), on AArch64 the LSE casp pair when __ARM_FEATURE_ATOMICS
+// is available or the ldxp/stxp LL-SC pair otherwise. Using the builtin
+// directly (rather than std::atomic<16-byte struct>) keeps the operation
+// inline with no libatomic call and no chance of a hidden global lock.
+// Hosts where the builtin is unavailable compile with R2D_HAS_DWCAS == 0
+// and the dwcas column backend degrades to the locked one (documented
+// fallback; benches and tests report which arm actually ran).
+//
+// Loads deliberately stay two plain std::atomic<uint64_t> acquire loads: a
+// 16-byte atomic *load* would itself need the CAS instruction (an RMW on
+// possibly-read-only cache lines). Torn pairs are tolerated rather than
+// retried — see dwcas_snapshot below for why every consumer is safe with
+// that (and how per-word tags upgrade "re-read equal" to "constant in
+// between" when a caller does need simultaneity).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__GCC_HAVE_SYNC_COMPARE_AND_SWAP_16)
+#define R2D_HAS_DWCAS 1
+#else
+#define R2D_HAS_DWCAS 0
+#endif
+
+// TSan models the synchronization of a 16-byte atomic at the pair's base
+// address only, so an 8-byte acquire load of the *second* word never
+// observes the release edge of a 16-byte CAS — pointers unpacked from that
+// word look unsynchronized and every dereference reports a false race
+// (the hardware orders the loads fine: the CAS is a full barrier). TSan
+// builds therefore snapshot through the same 16-byte primitive (a zero
+// compare-exchange, i.e. an RMW load at the base address) so the edge
+// lands where TSan looks.
+#if defined(__SANITIZE_THREAD__)
+#define R2D_DWCAS_TSAN_SNAPSHOT 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define R2D_DWCAS_TSAN_SNAPSHOT 1
+#endif
+#endif
+#ifndef R2D_DWCAS_TSAN_SNAPSHOT
+#define R2D_DWCAS_TSAN_SNAPSHOT 0
+#endif
+
+namespace r2d::core {
+
+/// True when this build has a real 16-byte CAS (see header comment).
+inline constexpr bool kHasDwcas = R2D_HAS_DWCAS != 0;
+
+/// A 16-byte value: two adjacent words, compared and swapped as one unit.
+struct WordPair {
+  std::uint64_t w0 = 0;
+  std::uint64_t w1 = 0;
+
+  friend bool operator==(const WordPair&, const WordPair&) = default;
+};
+
+/// Two adjacent atomic words occupying one naturally-aligned 16-byte unit,
+/// so the pair is addressable both as individual atomics (probe loads) and
+/// as one DWCAS target.
+struct alignas(16) DwcasWords {
+  std::atomic<std::uint64_t> w0{0};
+  std::atomic<std::uint64_t> w1{0};
+};
+
+static_assert(sizeof(DwcasWords) == 16 && sizeof(WordPair) == 16);
+
+/// Two acquire loads, deliberately *not* validated as simultaneous (that
+/// third load would cost on every probe): callers either feed the pair
+/// straight into the 16-byte CAS — a torn pair simply fails the compare —
+/// or re-load and compare for equality. Pair equality across two raw
+/// re-reads does imply the words co-held their values: each word's tag
+/// makes "read equal twice" mean "constant in between", and the two
+/// constant intervals overlap (w0's spans its first to second read, w1's
+/// likewise, and the program order of the four loads nests them).
+inline WordPair dwcas_snapshot(const DwcasWords& target) {
+#if R2D_HAS_DWCAS && R2D_DWCAS_TSAN_SNAPSHOT
+  // See the TSan note above: a zero compare-exchange is an atomic 16-byte
+  // load whose acquire edge TSan records at the address it checks.
+  const unsigned __int128 cur = __sync_val_compare_and_swap(
+      reinterpret_cast<unsigned __int128*>(const_cast<DwcasWords*>(&target)),
+      0, 0);
+  WordPair w;
+  std::memcpy(&w, &cur, sizeof(w));
+  return w;
+#else
+  return WordPair{target.w0.load(std::memory_order_acquire),
+                  target.w1.load(std::memory_order_acquire)};
+#endif
+}
+
+#if R2D_HAS_DWCAS
+/// One 16-byte CAS. __sync builtins are full barriers, so a successful
+/// swap publishes with (at least) release semantics and a failed one
+/// still orders like an acquire load.
+inline bool dwcas(DwcasWords& target, const WordPair& expected,
+                  const WordPair& desired) {
+  unsigned __int128 e, d;
+  std::memcpy(&e, &expected, sizeof(e));
+  std::memcpy(&d, &desired, sizeof(d));
+  return __sync_bool_compare_and_swap(
+      reinterpret_cast<unsigned __int128*>(&target), e, d);
+}
+#endif
+
+}  // namespace r2d::core

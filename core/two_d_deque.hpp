@@ -3,13 +3,13 @@
 // container built *on* the shared sweep engine rather than refactored onto
 // it.
 //
-// A width-array of small doubly-linked sub-deques under one window *per
-// end*. A column's occupancy says nothing about how out-of-order its front
-// or back item is (a column cycling push_front/pop_back keeps its
-// occupancy constant while its front segment drifts arbitrarily far behind
-// the other columns'), so the windows range over per-column signed
-// *end-flows* instead: the front flow f = front-pushes - front-pops and
-// the back flow b = back-pushes - back-pops. That is the stack's height
+// A width-array of small sub-deques under one window *per end*. A column's
+// occupancy says nothing about how out-of-order its front or back item is
+// (a column cycling push_front/pop_back keeps its occupancy constant while
+// its front segment drifts arbitrarily far behind the other columns'), so
+// the windows range over per-column signed *end-flows* instead: the front
+// flow f = front-pushes - front-pops and the back flow b likewise (see
+// core/deque_flow.hpp for the packed word). That is the stack's height
 // coordinate generalized per end — a front push is eligible on a column
 // whose front flow is below the front window, a front pop on a non-empty
 // column whose front flow is above front-window - depth, and symmetrically
@@ -22,22 +22,16 @@
 // distance each end actually pays. All four operations drive
 // core/window.hpp — two window words, four predicate pairs, one engine.
 //
-// Column representation: a sub-deque needs push/pop at both ends, which a
-// packed-head Treiber column cannot give, and lock-free doubly-ended
-// columns need DWCAS or steal/flip machinery orthogonal to this library's
-// point — the *window* is where the scalability comes from. So each column
-// is a doubly-linked list serialized by a one-word TTAS spinlock
-// (MultiQueue-style: many columns, short critical sections, hops on
-// contention), with both biased 32-bit flows packed into one adjacent
-// atomic word stored under the lock after every mutation (the column's
-// linearization point). That gives the engine the same property the
-// stacks' packed heads give: eligibility probes, certification scans,
-// empty() and approx_size() read one atomic word per column — no
-// dereference, no lock, and (since node lifetime is governed by the lock)
-// no reclaimer at all. The 31-bit signed flow range caps per-column
-// lifetime end-flow drift at ~2.1e9 operations, plenty for any measured
-// run; occupancy is the exact sum f + b, so count == 0 <=> empty needs no
-// saturation protocol.
+// The column representation is a policy (the `Column` template parameter;
+// DESIGN.md §11): DwcasDequeColumn — the default where the hardware has a
+// 16-byte CAS — keeps {front, back} in one two-word head updated by DWCAS
+// with per-end ABA tags, so a preempted thread can never stall a column;
+// LockedDequeColumn serializes each column with a one-word TTAS spinlock
+// (and is the automatic fallback when R2D_HAS_DWCAS == 0). Both publish
+// the same packed flow word, so eligibility probes, certification scans,
+// empty() and approx_size() are one atomic load per column — no
+// dereference, no lock, no guard — and both route node lifetime through
+// the reclaimer/allocator pipeline (retire(node, alloc), DESIGN.md §10).
 #pragma once
 
 #include <algorithm>
@@ -47,63 +41,44 @@
 #include <optional>
 #include <utility>
 
+#include "core/deque_column_dwcas.hpp"
+#include "core/deque_column_locked.hpp"
+#include "core/deque_flow.hpp"
 #include "core/params.hpp"
 #include "core/substack.hpp"  // InstanceLocal
 #include "core/window.hpp"
 #include "reclaim/alloc.hpp"
+#include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d {
 
-template <typename T, template <typename> class Alloc = reclaim::HeapAlloc>
+template <typename T, typename Reclaimer = reclaim::EpochReclaimer,
+          template <typename> class Alloc = reclaim::HeapAlloc,
+          template <typename> class Column = core::DefaultDequeColumn>
 class TwoDDeque {
-  /// Center of the biased 32-bit flow representation: a stored flow word
-  /// of kFlowBias means "net zero". Windows live on the same biased scale,
-  /// so every eligibility comparison is plain unsigned arithmetic.
-  static constexpr std::uint64_t kFlowBias = std::uint64_t{1} << 31;
-
-  struct Node {
-    Node* prev;
-    Node* next;
-    T value;
-  };
-
-  struct alignas(64) Column {
-    /// One-word TTAS spinlock over {front, back} and the list links.
-    std::atomic<bool> locked{false};
-    /// Packed biased flows: [front flow + bias : 32][back flow + bias : 32],
-    /// stored under the lock after every mutation (the column's
-    /// linearization point). Window probes and certification scans read
-    /// only this word.
-    std::atomic<std::uint64_t> flows{(kFlowBias << 32) | kFlowBias};
-    Node* front = nullptr;
-    Node* back = nullptr;
-
-    bool try_lock() {
-      return !locked.load(std::memory_order_relaxed) &&
-             !locked.exchange(true, std::memory_order_acquire);
-    }
-    void unlock() { locked.store(false, std::memory_order_release); }
-  };
-
-  static std::uint64_t front_flow(std::uint64_t word) { return word >> 32; }
-  static std::uint64_t back_flow(std::uint64_t word) {
-    return word & 0xffffffffu;
-  }
-  /// Exact occupancy: the biases cancel in f + b.
-  static std::uint64_t occupancy(std::uint64_t word) {
-    return front_flow(word) + back_flow(word) - 2 * kFlowBias;
-  }
+  using Col = Column<T>;
+  using Node = typename Col::Node;
 
  public:
   using value_type = T;
+  using reclaimer_type = Reclaimer;
   using allocator_type = Alloc<Node>;
+  using column_type = Col;
+
+  /// Which column backend this instantiation runs ("dwcas" | "locked") —
+  /// on fallback hosts the dwcas name resolves to the locked backend and
+  /// reports itself accordingly.
+  static constexpr const char* backend_name() { return Col::kBackendName; }
+  static constexpr bool lock_free_columns() { return Col::kLockFree; }
 
   explicit TwoDDeque(core::TwoDParams params)
       : params_(validated(std::move(params))),
-        columns_(std::make_unique<Column[]>(params_.width)) {
-    front_max_.store(kFlowBias + params_.depth, std::memory_order_relaxed);
-    back_max_.store(kFlowBias + params_.depth, std::memory_order_relaxed);
+        columns_(std::make_unique<Col[]>(params_.width)) {
+    front_max_.store(core::kFlowBias + params_.depth,
+                     std::memory_order_relaxed);
+    back_max_.store(core::kFlowBias + params_.depth,
+                    std::memory_order_relaxed);
   }
 
   TwoDDeque(const TwoDDeque&) = delete;
@@ -111,12 +86,7 @@ class TwoDDeque {
 
   ~TwoDDeque() {
     for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* node = columns_[i].front;
-      while (node != nullptr) {
-        Node* next = node->next;
-        alloc_.release(node);
-        node = next;
-      }
+      columns_[i].drain(alloc_);
     }
   }
 
@@ -128,10 +98,11 @@ class TwoDDeque {
   std::optional<T> pop_back() { return pop<false>(); }
 
   /// True when every column's occupancy was zero at the moment its flow
-  /// word was read — a pure atomic scan, no locks.
+  /// word was read — a pure atomic scan, no locks, either backend.
   bool empty() const {
     for (std::size_t i = 0; i < params_.width; ++i) {
-      if (occupancy(columns_[i].flows.load(std::memory_order_acquire)) != 0) {
+      if (core::flow_occupancy(
+              columns_[i].flows.load(std::memory_order_acquire)) != 0) {
         return false;
       }
     }
@@ -142,7 +113,8 @@ class TwoDDeque {
   std::uint64_t approx_size() const {
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < params_.width; ++i) {
-      total += occupancy(columns_[i].flows.load(std::memory_order_acquire));
+      total += core::flow_occupancy(
+          columns_[i].flows.load(std::memory_order_acquire));
     }
     return total;
   }
@@ -150,24 +122,18 @@ class TwoDDeque {
   /// Debug/test accessors: the two windows on the signed (unbiased) flow
   /// scale — racy reads.
   std::int64_t front_window() const {
-    return static_cast<std::int64_t>(front_max_.load(std::memory_order_acquire) -
-                                     kFlowBias);
+    return static_cast<std::int64_t>(
+        front_max_.load(std::memory_order_acquire) - core::kFlowBias);
   }
   std::int64_t back_window() const {
-    return static_cast<std::int64_t>(back_max_.load(std::memory_order_acquire) -
-                                     kFlowBias);
+    return static_cast<std::int64_t>(
+        back_max_.load(std::memory_order_acquire) - core::kFlowBias);
   }
 
  private:
   static core::TwoDParams validated(core::TwoDParams params) {
     params.validate();
     return params;
-  }
-
-  /// The end-flow this end's window ranges over, on the biased scale.
-  template <bool kFront>
-  static std::uint64_t flow(std::uint64_t word) {
-    return kFront ? front_flow(word) : back_flow(word);
   }
 
   template <bool kFront>
@@ -182,17 +148,26 @@ class TwoDDeque {
     const std::uint64_t max = window.load(std::memory_order_acquire);
     const std::size_t start = preferred_index();
     // Fast path: one attempt on the thread's preferred column.
-    const core::Probe first = try_push_at<kFront>(node, start, max);
-    if (first == core::Probe::kSuccess) [[likely]] return;
+    const core::Probe first =
+        columns_[start].template try_push<kFront>(node, max, reclaimer_,
+                                                  alloc_);
+    if (first == core::Probe::kSuccess) [[likely]] {
+      preferred_index() = start;
+      return;
+    }
     core::drive_window_sweep(
         params_, window, start, max, first,
         /*attempt=*/
         [&](std::size_t i, std::uint64_t m) {
-          return try_push_at<kFront>(node, i, m);
+          const core::Probe p =
+              columns_[i].template try_push<kFront>(node, m, reclaimer_,
+                                                    alloc_);
+          if (p == core::Probe::kSuccess) preferred_index() = i;
+          return p;
         },
         /*eligible=*/
         [&](std::size_t i, std::uint64_t m) {
-          return flow<kFront>(columns_[i].flows.load(
+          return core::end_flow<kFront>(columns_[i].flows.load(
                      std::memory_order_acquire)) < m;
         },
         /*certified=*/
@@ -207,19 +182,27 @@ class TwoDDeque {
     const std::uint64_t max = window.load(std::memory_order_acquire);
     const std::size_t start = preferred_index();
     std::optional<T> out;
-    const core::Probe first = try_pop_at<kFront>(out, start, max);
-    if (first == core::Probe::kSuccess) [[likely]] return out;
+    const core::Probe first = columns_[start].template try_pop<kFront>(
+        out, max, params_.depth, reclaimer_, alloc_);
+    if (first == core::Probe::kSuccess) [[likely]] {
+      preferred_index() = start;
+      return out;
+    }
     core::drive_window_sweep(
         params_, window, start, max, first,
         /*attempt=*/
         [&](std::size_t i, std::uint64_t m) {
-          return try_pop_at<kFront>(out, i, m);
+          const core::Probe p = columns_[i].template try_pop<kFront>(
+              out, m, params_.depth, reclaimer_, alloc_);
+          if (p == core::Probe::kSuccess) preferred_index() = i;
+          return p;
         },
         /*eligible=*/
         [&](std::size_t i, std::uint64_t m) {
           const std::uint64_t word =
               columns_[i].flows.load(std::memory_order_acquire);
-          return occupancy(word) > 0 && flow<kFront>(word) > m - params_.depth;
+          return core::flow_occupancy(word) > 0 &&
+                 core::end_flow<kFront>(word) > m - params_.depth;
         },
         /*certified=*/
         [&](std::uint64_t m) { return certify_pop<kFront>(m); });
@@ -238,106 +221,14 @@ class TwoDDeque {
     for (std::size_t i = 0; i < params_.width; ++i) {
       const std::uint64_t word =
           columns_[i].flows.load(std::memory_order_acquire);
-      if (occupancy(word) == 0) continue;
-      if (flow<kFront>(word) > max - params_.depth) {
+      if (core::flow_occupancy(word) == 0) continue;
+      if (core::end_flow<kFront>(word) > max - params_.depth) {
         return core::Certified::restart_at(i);
       }
       any_nonempty = true;
     }
     if (!any_nonempty) return core::Certified::stop();
     return core::Certified::shift_to(max - params_.shift);
-  }
-
-  /// One push attempt: dereference-free flow probe, then the exact
-  /// re-check under the column lock. A held lock reads as contention (hop
-  /// away, like a lost CAS); the window predicate is re-verified under the
-  /// lock because the flow may have moved while we spun.
-  template <bool kFront>
-  core::Probe try_push_at(Node* node, std::size_t i, std::uint64_t max) {
-    Column& column = columns_[i];
-    if (flow<kFront>(column.flows.load(std::memory_order_acquire)) >= max) {
-      return core::Probe::kIneligible;
-    }
-    if (!column.try_lock()) return core::Probe::kContended;
-    const std::uint64_t word = column.flows.load(std::memory_order_relaxed);
-    if (flow<kFront>(word) >= max) {
-      column.unlock();
-      return core::Probe::kIneligible;
-    }
-    if constexpr (kFront) {
-      node->next = column.front;
-      if (column.front != nullptr) {
-        column.front->prev = node;
-      } else {
-        column.back = node;
-      }
-      column.front = node;
-    } else {
-      node->prev = column.back;
-      if (column.back != nullptr) {
-        column.back->next = node;
-      } else {
-        column.front = node;
-      }
-      column.back = node;
-    }
-    column.flows.store(word + flow_delta<kFront>(+1),
-                       std::memory_order_release);
-    column.unlock();
-    preferred_index() = i;
-    return core::Probe::kSuccess;
-  }
-
-  template <bool kFront>
-  core::Probe try_pop_at(std::optional<T>& out, std::size_t i,
-                         std::uint64_t max) {
-    Column& column = columns_[i];
-    {
-      const std::uint64_t word =
-          column.flows.load(std::memory_order_acquire);
-      if (occupancy(word) == 0 || flow<kFront>(word) <= max - params_.depth) {
-        return core::Probe::kIneligible;
-      }
-    }
-    if (!column.try_lock()) return core::Probe::kContended;
-    const std::uint64_t word = column.flows.load(std::memory_order_relaxed);
-    if (occupancy(word) == 0 || flow<kFront>(word) <= max - params_.depth) {
-      column.unlock();
-      return core::Probe::kIneligible;
-    }
-    Node* node;
-    if constexpr (kFront) {
-      node = column.front;
-      column.front = node->next;
-      if (column.front != nullptr) {
-        column.front->prev = nullptr;
-      } else {
-        column.back = nullptr;
-      }
-    } else {
-      node = column.back;
-      column.back = node->prev;
-      if (column.back != nullptr) {
-        column.back->next = nullptr;
-      } else {
-        column.front = nullptr;
-      }
-    }
-    column.flows.store(word - flow_delta<kFront>(+1),
-                       std::memory_order_release);
-    column.unlock();
-    out = std::move(node->value);
-    // Node lifetime is governed by the column lock, so the block goes
-    // straight back to the allocator — no reclaimer in the loop.
-    alloc_.release(node);
-    preferred_index() = i;
-    return core::Probe::kSuccess;
-  }
-
-  /// The packed-word increment that moves this end's flow by one.
-  template <bool kFront>
-  static constexpr std::uint64_t flow_delta(int) {
-    return kFront ? (std::uint64_t{1} << 32) : std::uint64_t{1};
   }
 
   /// Per-(thread, instance) preferred column shared by all four operations
@@ -351,11 +242,14 @@ class TwoDDeque {
   }
 
   alignas(64) core::TwoDParams params_;
-  std::unique_ptr<Column[]> columns_;
+  std::unique_ptr<Col[]> columns_;
   std::atomic<std::uint64_t> front_max_{0};
   std::atomic<std::uint64_t> back_max_{0};
   const std::uint64_t id_ = reclaim::detail::next_instance_id();
+  // Destruction-order contract (DESIGN.md §10): the reclaimer's destructor
+  // drains deferred retires into alloc_, so alloc_ must be declared first.
   [[no_unique_address]] Alloc<Node> alloc_;
+  Reclaimer reclaimer_;
 };
 
 }  // namespace r2d

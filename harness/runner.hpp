@@ -34,8 +34,9 @@ concept RelaxedStack = requires(S s, typename S::value_type v) {
   { s.empty() } -> std::convertible_to<bool>;
 };
 
-/// The double-ended variant (TwoDDeque): push/pop at either end, same racy
-/// empty probe. Workload::front_ratio picks the end per operation.
+/// The double-ended variant (TwoDDeque, on either column backend —
+/// DESIGN.md §11): push/pop at either end, same racy empty probe.
+/// Workload::front_ratio picks the end per operation.
 template <typename D>
 concept RelaxedDeque = requires(D d, typename D::value_type v) {
   typename D::value_type;

@@ -119,6 +119,24 @@ class EpochReclaimer {
       return src.load(std::memory_order_acquire);
     }
 
+    /// Safe snapshot of a two-word (16-byte) head: `load` returns the word
+    /// pair, `unpack` the two node pointers a hazard policy would shield.
+    /// The epoch announcement covers every load in the critical section,
+    /// so one snapshot suffices. Note the stronger guarantee EBR gives the
+    /// deque's stabilization step: *no* node retired after this pin can be
+    /// recycled while the guard lives, so even unvalidated interior links
+    /// read inside the section can never be resurrected addresses
+    /// (DESIGN.md §11).
+    template <typename Load, typename Unpack>
+    auto protect_pair(Load&& load, Unpack&& /*unpack*/,
+                      unsigned /*first_slot*/ = 0) {
+      return load();
+    }
+
+    /// Publish one extra raw pointer — a no-op here; the announcement
+    /// already shields it.
+    void protect_raw(void* /*node*/, unsigned /*slot*/) {}
+
     template <typename T>
     void retire(T* node) {
       r_->retire_at(s_, node, nullptr,

@@ -91,6 +91,36 @@ class HazardReclaimer {
       }
     }
 
+    /// Safe snapshot of a two-word (16-byte) head: `load` returns the word
+    /// pair (already internally consistent — e.g. core::dwcas_snapshot),
+    /// `unpack` the two node pointers to shield. Publishes both into
+    /// slots first_slot / first_slot + 1 and revalidates the pair, the
+    /// protect_word loop widened to two words. Tags inside the words make
+    /// "unchanged" mean "no successful CAS in between", so both pointers
+    /// are still reachable from the head when the loop exits.
+    template <typename Load, typename Unpack>
+    auto protect_pair(Load&& load, Unpack&& unpack, unsigned first_slot = 0) {
+      auto w = load();
+      while (true) {
+        const auto ptrs = unpack(w);
+        s_->hazard[first_slot].store(ptrs.first, std::memory_order_seq_cst);
+        s_->hazard[first_slot + 1].store(ptrs.second,
+                                         std::memory_order_seq_cst);
+        const auto w2 = load();
+        if (w2 == w) return w;
+        w = w2;
+      }
+    }
+
+    /// Publish one extra raw pointer (e.g. the old end node a deque
+    /// stabilization bridges, or a freshly pushed node a helper may pop
+    /// before its owner stabilizes). The caller must revalidate that the
+    /// node is still reachable after publication before dereferencing —
+    /// publication alone cannot shield memory that was already freed.
+    void protect_raw(void* node, unsigned slot) {
+      s_->hazard[slot].store(node, std::memory_order_seq_cst);
+    }
+
     template <typename T>
     void retire(T* node) {
       r_->retire_at(s_, node, nullptr,

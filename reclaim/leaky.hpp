@@ -7,6 +7,12 @@
 //   T* p = g.protect(head, slot);      // hazard-safe load of atomic<T*>
 //   w = g.protect_word(head, unpack);  // same for a packed head word whose
 //                                      // node pointer `unpack` extracts
+//   wp = g.protect_pair(load, unpack); // same for a two-word (16-byte)
+//                                      // head: `load` returns the word
+//                                      // pair, `unpack` the two node
+//                                      // pointers to shield (slots n, n+1)
+//   g.protect_raw(p, slot);            // publish one extra raw pointer
+//                                      // (caller revalidates reachability)
 //   g.retire(p, alloc);                // defer release of an unlinked node
 //                                      // back to its owning allocator
 //   g.retire(p);                       // same, for plain new'd nodes
@@ -54,6 +60,14 @@ class LeakyReclaimer {
                                Unpack /*unpack*/, unsigned /*slot*/ = 0) {
       return src.load(std::memory_order_acquire);
     }
+
+    template <typename Load, typename Unpack>
+    auto protect_pair(Load&& load, Unpack&& /*unpack*/,
+                      unsigned /*first_slot*/ = 0) {
+      return load();
+    }
+
+    void protect_raw(void* /*node*/, unsigned /*slot*/) {}
 
     template <typename T>
     void retire(T* /*node*/) {

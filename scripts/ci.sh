@@ -28,10 +28,18 @@ R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 \
 echo "=== smoke: fig2_thread_sweep ==="
 R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
   "$BUILD_DIR/fig2_thread_sweep"
-# The deque exercises the shared window engine plus the locked-column path
-# under whatever sanitizer this config selected.
-echo "=== smoke: ext_deque_scaling ==="
+# The deque exercises the shared window engine plus BOTH column backends
+# (R2D_DEQUE_COLS defaults to `both`: locked and dwcas rows run in one
+# invocation) under whatever sanitizer this config selected — the DWCAS
+# two-word head protocol is hammered under ASan and TSan here. A second
+# pass pins R2D_DEQUE_COLS=locked so the fallback arm hosts without a
+# 16-byte CAS would take is exercised explicitly everywhere.
+echo "=== smoke: ext_deque_scaling (backend A/B) ==="
 R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
+  "$BUILD_DIR/ext_deque_scaling"
+echo "=== smoke: ext_deque_scaling (locked fallback arm) ==="
+R2D_DEQUE_COLS=locked \
+  R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
   "$BUILD_DIR/ext_deque_scaling"
 if [ -x "$BUILD_DIR/micro_ops" ]; then
   # Runs under whatever sanitizer this config selected — the assertion
@@ -85,11 +93,15 @@ if [ -z "$SANITIZER" ]; then
     R2D_DURATION_MS=100 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
     "$PERF_DIR/fig2_thread_sweep"
   test -s BENCH_fig2.json
+  # Records the locked-vs-dwcas paired A/B (backend x allocator rows plus
+  # the front-ratio sweep) into the deque trajectory file.
   echo "=== perf smoke: ext_deque_scaling -> BENCH_deque.json ==="
   R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_deque.json \
     R2D_DURATION_MS=100 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
     "$PERF_DIR/ext_deque_scaling"
   test -s BENCH_deque.json
+  grep -q 'dwcas' BENCH_deque.json
+  grep -q 'locked' BENCH_deque.json
 fi
 
 echo "ci.sh: all green"

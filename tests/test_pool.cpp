@@ -267,13 +267,16 @@ int main() {
         [&] { return queue.dequeue(); });
   }
   {
-    // Both deque ends, steered by label parity (no reclaimer in the deque:
-    // releases go straight back to the pool under the column locks).
+    // Both deque ends, steered by label parity; pops retire through the
+    // reclaimer back into the pool on either column backend (DESIGN.md
+    // §10/§11).
     r2d::core::TwoDParams p;
     p.width = 8;
     p.depth = 8;
     p.shift = 4;
-    r2d::TwoDDeque<std::uint64_t, r2d::reclaim::PoolAlloc> deque(p);
+    r2d::TwoDDeque<std::uint64_t, r2d::reclaim::EpochReclaimer,
+                   r2d::reclaim::PoolAlloc>
+        deque(p);
     hammer(
         "2d-deque/pool", 4, 20000,
         [&](std::uint64_t v) {
