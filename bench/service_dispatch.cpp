@@ -1,0 +1,183 @@
+// The "million-user" open-loop dispatch scenario (EXPERIMENTS.md E14): the
+// first bench in this repo where the load, not the structure, sets the
+// pace. An arrival-rate-driven generator (harness/service/) offers tasks
+// to a dispatch server whose run-queue is an r2d:: container, and the
+// figure reports what a service owner would actually read off a dashboard:
+// coordinated-omission-safe p50/p99/p999 response times against an SLO,
+// the shed rate of the bounded admission queue, and the rank-error bound
+// surfaced as admission-order unfairness (mean/max displacement).
+//
+// Sweep: scheduling core (2D-bag — the default, per the ROADMAP — then
+// 2D-stack and 2D-queue) x arrival process (poisson, onoff) x offered
+// load (0.5x and 1.0x of R2D_OFFERED_LOAD). Every row's conservation law
+// (generated == admitted + shed, admitted == completed) is checked and a
+// violation fails the bench — the accounting is the point, not a
+// best-effort statistic.
+//
+// Knobs: R2D_OFFERED_LOAD (base arrivals/s), R2D_ARRIVAL (reproducibility
+// seed source for the processes via R2D_ARRIVAL_SEED; the *kinds* are
+// always swept here), R2D_SLO_US, R2D_SHED_CAP, R2D_SERVICE_NS,
+// R2D_DURATION_MS (schedule horizon), R2D_MAX_THREADS (worker cap),
+// R2D_BENCH_JSON (emit BENCH_service.json). Single-threaded caveat: on a
+// 1-core host the generator and workers time-share, so absolute
+// latencies are inflated; relative container ordering is what E14 reads.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/two_d_bag.hpp"
+#include "core/two_d_queue.hpp"
+#include "core/two_d_stack.hpp"
+#include "harness/service/server.hpp"
+#include "util/crash_trace.hpp"
+
+namespace {
+
+using namespace r2d::bench;
+namespace service = r2d::harness::service;
+
+/// One measured sweep point, table + JSON row.
+struct ServiceRow {
+  std::string structure;
+  std::string arrival;
+  double offered = 0.0;
+  service::ServiceResult result;
+};
+
+template <typename Queue>
+service::ServiceResult run_one(const r2d::core::TwoDParams& params,
+                               const service::ServiceConfig& config) {
+  Queue queue(params);
+  return service::run_service(queue, config);
+}
+
+service::ServiceResult run_core(const std::string& name,
+                                const r2d::core::TwoDParams& params,
+                                const service::ServiceConfig& config) {
+  if (name == "2D-bag") {
+    return run_one<r2d::TwoDBag<service::Task>>(params, config);
+  }
+  if (name == "2D-stack") {
+    return run_one<r2d::TwoDStack<service::Task>>(params, config);
+  }
+  return run_one<r2d::TwoDQueue<service::Task>>(params, config);
+}
+
+/// BENCH_service.json: the service rows carry more than (threads, mops),
+/// so this bench writes its own schema with the same provenance header as
+/// bench::write_bench_json; ci.sh asserts one row per container core.
+void emit_service_json(const std::vector<ServiceRow>& rows) {
+  const std::string path = r2d::util::env_str("R2D_BENCH_JSON", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"service_dispatch\",\n"
+      << "  \"git_sha\": \"" << r2d::util::env_str("R2D_GIT_SHA", "unknown")
+      << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"membarrier\": "
+      << (r2d::reclaim::detail::use_membarrier() ? "true" : "false") << ",\n"
+      << "  \"points\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServiceRow& r = rows[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"structure\": \"" << r.structure
+        << "\", \"arrival\": \"" << r.arrival
+        << "\", \"offered_per_s\": " << r.offered
+        << ", \"completed_per_s\": " << r.result.completed_rate()
+        << ", \"p50_us\": " << r.result.p50_us()
+        << ", \"p99_us\": " << r.result.p99_us()
+        << ", \"p999_us\": " << r.result.p999_us()
+        << ", \"shed_rate\": " << r.result.shed_rate()
+        << ", \"slo_violation_rate\": " << r.result.slo_violation_rate()
+        << ", \"mean_displacement\": " << r.result.mean_displacement()
+        << ", \"max_displacement\": " << r.result.displacement_max
+        << ", \"conserved\": " << (r.result.conserved() ? "true" : "false")
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+  if (out) {
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cerr << "could not write " << path << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  r2d::util::install_crash_tracer();
+  const BenchEnv env = BenchEnv::load();
+  const unsigned workers = std::max(1u, std::min(4u, env.max_threads));
+
+  // Base service shape from the Workload arrival knobs; the sweep below
+  // overrides arrival kind and rate per point.
+  r2d::harness::Workload w = env.workload(workers);
+  const service::ServiceConfig base = service::ServiceConfig::from_workload(w);
+
+  r2d::core::TwoDParams params;
+  params.width = 4 * workers;
+  params.depth = 16;
+  params.shift = 8;
+
+  std::cout << "=== open-loop service dispatch (workers=" << workers
+            << ", schedule=" << base.duration_ms << " ms, cap="
+            << base.shed_cap << ", SLO=" << base.slo_us
+            << " us, service=" << base.service_ns
+            << " ns; latencies from INTENDED arrival) ===\n";
+
+  std::vector<ServiceRow> rows;
+  bool all_conserved = true;
+  r2d::util::Table table({"structure", "arrival", "offered/s", "done/s",
+                          "shed%", "p50_us", "p99_us", "p999_us", "slo%",
+                          "mean_disp", "max_disp"});
+  for (const char* structure : {"2D-bag", "2D-stack", "2D-queue"}) {
+    for (const service::ArrivalKind kind :
+         {service::ArrivalKind::kPoisson, service::ArrivalKind::kOnOff}) {
+      // 0.5x/1.0x bracket the nominal load; 4x is deliberate overload,
+      // where the admission cap (not the container) must be what gives.
+      for (const double load_factor : {0.5, 1.0, 4.0}) {
+        service::ServiceConfig config = base;
+        config.arrival.kind = kind;
+        config.arrival.rate = base.arrival.rate * load_factor;
+        const ServiceRow row{structure, service::to_string(kind),
+                             config.arrival.rate,
+                             run_core(structure, params, config)};
+        const service::ServiceResult& r = row.result;
+        if (!r.conserved()) {
+          all_conserved = false;
+          std::cerr << "CONSERVATION VIOLATION: " << structure << "/"
+                    << row.arrival << "@" << row.offered << ": generated="
+                    << r.generated << " admitted=" << r.admitted
+                    << " shed=" << r.shed << " completed=" << r.completed
+                    << "\n";
+        }
+        table.add_row({row.structure, row.arrival,
+                       r2d::util::Table::num(row.offered, 0),
+                       r2d::util::Table::num(r.completed_rate(), 0),
+                       r2d::util::Table::num(100.0 * r.shed_rate(), 2),
+                       r2d::util::Table::num(r.p50_us(), 1),
+                       r2d::util::Table::num(r.p99_us(), 1),
+                       r2d::util::Table::num(r.p999_us(), 1),
+                       r2d::util::Table::num(100.0 * r.slo_violation_rate(), 2),
+                       r2d::util::Table::num(r.mean_displacement(), 1),
+                       std::to_string(r.displacement_max)});
+        rows.push_back(row);
+      }
+    }
+  }
+  emit(table, env, "service_dispatch");
+  emit_service_json(rows);
+
+  if (!all_conserved) {
+    std::cerr << "service_dispatch: conservation violated (see above)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// TwoDCounter: the 2D window framework instantiated for a shared counter —
+// the ROADMAP's "a 2D instance is a predicate pair, not another 300-line
+// copy" claim, demonstrated on the smallest possible container: no nodes,
+// no reclaimer, no allocator, just width cache-line-isolated delta words
+// under one window.
+//
+// Like a LongAdder, the counter spreads inc/dec CASes across `width`
+// striped cells so no single word is the contention point. Unlike a
+// LongAdder, the window bounds how far the stripes may drift apart: an inc
+// is eligible only on a cell whose delta is below the window, a dec only on
+// a cell inside the band (delta > max − depth), and the window moves — via
+// the engine's certified-failed-sweep rule — only after a sweep proves
+// every cell ineligible. At any window value m, therefore, committed cell
+// deltas live in [m − depth − shift, m + shift] (one in-flight shift of
+// slack on each side), so any subset of cells estimates the total with
+// per-cell error ≤ depth + 2·shift — the counter's analogue of the paper's
+// Theorem 1, with "rank error" become "read error". A dec on a cell at the
+// band bottom certifies and shifts the window down rather than pushing the
+// cell further below its siblings, which is what lets the bound survive
+// dec-heavy phases (a plain striped counter can strand all the weight in
+// one cell; this one cannot).
+//
+// Decrements below zero are legal — it is a counter, not a semaphore; the
+// cells carry a 2^63 bias so the window coordinate stays unsigned while
+// read() reports the signed net. read() sums the cells one relaxed load
+// each: exact at quiescence, and under concurrency off by at most the
+// in-flight ops plus the drift bound above.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/params.hpp"
+#include "core/window.hpp"
+#include "reclaim/slot_registry.hpp"  // next_instance_id
+
+namespace r2d {
+
+class TwoDCounter {
+  /// Cell bias: deltas are stored as bias + net so the window arithmetic
+  /// stays in unsigned space even when the counter goes negative.
+  static constexpr std::uint64_t kBias = std::uint64_t{1} << 63;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> delta{kBias};
+  };
+
+ public:
+  explicit TwoDCounter(core::TwoDParams params)
+      : params_(validated(std::move(params))),
+        cells_(std::make_unique<Cell[]>(params_.width)) {
+    window_max_.store(kBias + params_.depth, std::memory_order_relaxed);
+  }
+
+  TwoDCounter(const TwoDCounter&) = delete;
+  TwoDCounter& operator=(const TwoDCounter&) = delete;
+
+  const core::TwoDParams& params() const { return params_; }
+
+  void inc() {
+    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+    const std::size_t index = preferred_index();
+    if (try_step_at(index, /*lo=*/0, max) == core::Probe::kSuccess)
+        [[likely]] {
+      return;
+    }
+    step_slow</*kInc=*/true>(max, index);
+  }
+
+  void dec() {
+    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+    const std::size_t index = preferred_index();
+    if (try_step_at(index, max - params_.depth, max - params_.depth) ==
+        core::Probe::kSuccess) [[likely]] {
+      return;
+    }
+    step_slow</*kInc=*/false>(max, index);
+  }
+
+  /// Signed net value: one relaxed load per cell. Exact when no operation
+  /// is in flight; otherwise off by at most the in-flight ops plus the
+  /// windowed drift bound in the header comment.
+  std::int64_t read() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < params_.width; ++i) {
+      total += cells_[i].delta.load(std::memory_order_relaxed);
+    }
+    // Each cell contributes bias + net_i; subtract width biases (mod 2^64
+    // wraparound is exactly two's-complement signed arithmetic).
+    return static_cast<std::int64_t>(total - params_.width * kBias);
+  }
+
+  /// Signed per-cell delta, for tests asserting the drift bound.
+  std::int64_t cell(std::size_t index) const {
+    return static_cast<std::int64_t>(
+        cells_[index].delta.load(std::memory_order_relaxed) - kBias);
+  }
+
+  /// Debug/test accessor: window top in signed (unbiased) coordinates.
+  std::int64_t window() const {
+    return static_cast<std::int64_t>(
+        window_max_.load(std::memory_order_acquire) - kBias);
+  }
+
+ private:
+  static core::TwoDParams validated(core::TwoDParams params) {
+    params.validate();
+    return params;
+  }
+
+  /// One CAS step on cell `index`: eligible while lo < delta+1 <= hi... —
+  /// concretely, an inc (lo == 0) requires delta < hi, a dec (lo == hi ==
+  /// max − depth) requires delta > lo. Passing both bounds through one
+  /// helper keeps the two predicates textually adjacent.
+  core::Probe try_step_at(std::size_t index, std::uint64_t lo,
+                          std::uint64_t hi) {
+    const bool is_inc = lo == 0;
+    std::uint64_t d = cells_[index].delta.load(std::memory_order_acquire);
+    if (is_inc ? d >= hi : d <= lo) return core::Probe::kIneligible;
+    const std::uint64_t next = is_inc ? d + 1 : d - 1;
+    if (cells_[index].delta.compare_exchange_strong(
+            d, next, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      return core::Probe::kSuccess;
+    }
+    return core::Probe::kContended;
+  }
+
+  template <bool kInc>
+  __attribute__((noinline, cold)) void step_slow(std::uint64_t max,
+                                                 std::size_t start) {
+    core::drive_window_sweep(
+        params_, window_max_, start, max, core::Probe::kIneligible,
+        /*attempt=*/
+        [&](std::size_t i, std::uint64_t m) {
+          const core::Probe probe =
+              kInc ? try_step_at(i, 0, m)
+                   : try_step_at(i, m - params_.depth, m - params_.depth);
+          if (probe == core::Probe::kSuccess) preferred_index() = i;
+          return probe;
+        },
+        /*eligible=*/
+        [&](std::size_t i, std::uint64_t m) {
+          const std::uint64_t d =
+              cells_[i].delta.load(std::memory_order_acquire);
+          return kInc ? d < m : d > m - params_.depth;
+        },
+        /*certified=*/
+        [&](std::uint64_t m) {
+          // Monotone per direction, like the stack: a certified inc sweep
+          // (every cell at the window top) raises the window by shift; a
+          // certified dec sweep (every cell at or below the band bottom)
+          // lowers it. Neither stops: a counter's inc/dec are total.
+          return core::Certified::shift_to(kInc ? m + params_.shift
+                                                : m - params_.shift);
+        });
+  }
+
+  /// Per-(thread, instance) preferred cell, keyed like the containers'.
+  std::size_t& preferred_index() {
+    thread_local core::InstanceLocal<std::size_t> preferred;
+    std::size_t& index = preferred.get(id_);
+    if (index >= params_.width) [[unlikely]] index = 0;
+    return index;
+  }
+
+  alignas(64) core::TwoDParams params_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> window_max_{0};
+  const std::uint64_t id_ = reclaim::detail::next_instance_id();
+};
+
+}  // namespace r2d

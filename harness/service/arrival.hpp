@@ -1,0 +1,151 @@
+// Seeded open-loop arrival processes for the service harness.
+//
+// Closed-loop benches (everything in bench/ before service_dispatch) let
+// the structure set the pace: N threads issue the next operation the
+// moment the previous one returns, so a slow structure quietly receives
+// less load — the coordinated-omission trap. An *open-loop* generator
+// instead fixes the arrival schedule up front, independent of how the
+// server keeps up: every task has an intended arrival timestamp drawn
+// from a stochastic process, and response time is measured from that
+// intent (see server.hpp). This header owns the processes.
+//
+//   * kPoisson — exponential inter-arrival gaps at rate λ. The classical
+//     open-traffic model, and also how "millions of virtual clients" are
+//     simulated without a million threads: N clients that each think for
+//     an exponential time with mean Z between requests superpose to a
+//     Poisson stream of rate N/Z (rate_from_clients), so one generator
+//     thread stands in for the whole population.
+//   * kOnOff — a two-state Markov-modulated Poisson process: exponential
+//     ON bursts (mean on_ms) emitting at the boosted rate λ·(on+off)/on,
+//     alternating with silent OFF gaps (mean off_ms). Mean rate is still
+//     λ, but arrivals clump — the bursty traffic that fills admission
+//     queues and blows p999 long before the mean load saturates anything.
+//
+// Determinism contract: every draw comes from one splitmix64 stream owned
+// by the process object, so a given (kind, rate, on_ms, off_ms, seed)
+// tuple yields bit-identical schedules on every host and every run —
+// tests/test_service.cpp pins this, and it is what makes BENCH_service
+// rows comparable across commits.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace r2d::harness::service {
+
+/// Deterministic seeded PRNG (splitmix64): 64-bit state, full period,
+/// independent of libc and of core::hop_rand's thread-local stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw in (0, 1] — never 0, so log(uniform()) is finite.
+  double uniform() {
+    return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Exponential draw with the given mean (inverse-CDF method).
+  double exponential(double mean) { return -mean * std::log(uniform()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kOnOff };
+
+inline const char* to_string(ArrivalKind kind) {
+  return kind == ArrivalKind::kPoisson ? "poisson" : "onoff";
+}
+
+/// Parse an R2D_ARRIVAL value; anything not recognisably bursty means
+/// Poisson (the safe default for an unattended bench run).
+inline ArrivalKind arrival_kind_from(const std::string& name) {
+  return (name == "onoff" || name == "on-off" || name == "bursty")
+             ? ArrivalKind::kOnOff
+             : ArrivalKind::kPoisson;
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 100000.0;  ///< mean arrivals per second (offered load)
+  double on_ms = 1.0;      ///< kOnOff: mean burst duration
+  double off_ms = 9.0;     ///< kOnOff: mean silence duration
+  std::uint64_t seed = 42;
+
+  static ArrivalConfig from_env() {
+    ArrivalConfig c;
+    c.kind = arrival_kind_from(util::env_str("R2D_ARRIVAL", "poisson"));
+    c.rate = util::env_f64("R2D_OFFERED_LOAD", c.rate);
+    c.on_ms = util::env_f64("R2D_ON_MS", c.on_ms);
+    c.off_ms = util::env_f64("R2D_OFF_MS", c.off_ms);
+    c.seed = util::env_u64("R2D_ARRIVAL_SEED", c.seed);
+    return c;
+  }
+
+  /// The virtual-client view: `clients` users each thinking an
+  /// exponential mean `think_ms` between requests superpose to a Poisson
+  /// stream of this rate — how "a million users" becomes one λ.
+  static double rate_from_clients(double clients, double think_ms) {
+    return clients / (think_ms / 1000.0);
+  }
+};
+
+/// One arrival schedule: next_ns() returns strictly increasing intended
+/// arrival offsets (ns from the schedule origin). Single-consumer — the
+/// generator thread owns it.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& config)
+      : config_(config), rng_(config.seed) {
+    if (config_.kind == ArrivalKind::kOnOff) {
+      // Burst-rate boost keeps the mean at `rate` while arrivals only
+      // occur during the ON fraction on/(on+off) of the timeline.
+      const double on_fraction =
+          config_.on_ms / (config_.on_ms + config_.off_ms);
+      burst_gap_ns_ = 1e9 / (config_.rate / on_fraction);
+      on_ends_ns_ = rng_.exponential(config_.on_ms * 1e6);
+    }
+  }
+
+  /// Intended arrival offset of the next task, in ns. Monotone by
+  /// construction (gaps are > 0, floored at 1 ns).
+  std::uint64_t next_ns() {
+    double gap;
+    if (config_.kind == ArrivalKind::kPoisson) {
+      gap = rng_.exponential(1e9 / config_.rate);
+    } else {
+      gap = rng_.exponential(burst_gap_ns_);
+      // Consume whole OFF gaps until this arrival lands inside a burst.
+      while (clock_ + gap > on_ends_ns_) {
+        const double overshoot = clock_ + gap - on_ends_ns_;
+        clock_ = on_ends_ns_ + rng_.exponential(config_.off_ms * 1e6);
+        on_ends_ns_ = clock_ + rng_.exponential(config_.on_ms * 1e6);
+        gap = overshoot;
+      }
+    }
+    clock_ += gap;
+    const auto ns = static_cast<std::uint64_t>(clock_);
+    last_ns_ = ns > last_ns_ ? ns : last_ns_ + 1;
+    return last_ns_;
+  }
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  double clock_ = 0.0;        ///< continuous schedule time (ns)
+  double burst_gap_ns_ = 0.0; ///< kOnOff: mean gap inside a burst
+  double on_ends_ns_ = 0.0;   ///< kOnOff: current burst's end time
+  std::uint64_t last_ns_ = 0;
+};
+
+}  // namespace r2d::harness::service

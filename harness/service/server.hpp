@@ -1,0 +1,273 @@
+// The task-dispatch server: any r2d:: container as the run-queue of an
+// open-loop service, with coordinated-omission-safe response times.
+//
+// Topology: ONE generator thread walks an ArrivalProcess schedule
+// (arrival.hpp), admits or sheds each arrival (shed.hpp), and pushes
+// admitted tasks into the container; `workers` threads pop tasks, spin a
+// fixed synthetic service time, and record the response. The generator is
+// strictly open-loop: it sleeps/spins until each task's *intended*
+// timestamp and then moves on regardless of what the server side is doing
+// — if it ever falls behind wall-clock (a push stalled), it does not
+// re-space the schedule; it pushes immediately and keeps the original
+// intents, which is precisely the coordinated-omission discipline.
+//
+// Response time of a task = completion wall time − intended arrival time.
+// That charges queueing delay, shed-pressure backoff, and every window
+// sweep to the task that actually waited, where a closed-loop bench would
+// silently excuse them. Quantiles (p50/p99/p999) come from the harness's
+// log-linear Histogram, and each result carries the SLO violation count
+// against ServiceConfig::slo_us.
+//
+// Unfairness (the rank-error bound made user-visible): tasks are stamped
+// with their admission sequence number; when a worker serves task s while
+// some task s' > s was already served, the difference max_served − s is
+// the task's *displacement* — how many admissions overtook it, in
+// admission order. A FIFO queue keeps displacement near the worker count;
+// a relaxed container's displacement tracks its k bound; a LIFO stack
+// under sustained load lets it grow without bound. The result reports the
+// mean and max so BENCH_service rows can put a number next to Theorem 1.
+//
+// The container type only needs push/pop or enqueue/dequeue on Task
+// (detected below), so TwoDBag, TwoDStack, TwoDQueue, and the strict
+// baselines all drop in unmodified.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "harness/latency.hpp"
+#include "harness/service/arrival.hpp"
+#include "harness/service/shed.hpp"
+#include "harness/workload.hpp"
+
+namespace r2d::harness::service {
+
+/// One dispatched unit of work. Default-constructible so queue nodes can
+/// hold it; trivially copyable so it moves through any container cheaply.
+struct Task {
+  std::uint64_t intended_ns = 0;  ///< intended arrival, ns from run origin
+  std::uint64_t seq = 0;          ///< admission sequence number
+};
+
+struct ServiceConfig {
+  ArrivalConfig arrival;
+  unsigned workers = 2;
+  std::uint64_t duration_ms = 100;  ///< length of the arrival *schedule*
+  std::uint64_t shed_cap = 1024;    ///< admission bound (R2D_SHED_CAP)
+  std::uint64_t slo_us = 1000;      ///< response-time SLO (R2D_SLO_US)
+  std::uint64_t service_ns = 500;   ///< synthetic per-task service time
+
+  /// Lift the Workload arrival knobs into a service run shape.
+  static ServiceConfig from_workload(const Workload& w) {
+    ServiceConfig c;
+    c.arrival = ArrivalConfig::from_env();
+    c.arrival.kind = arrival_kind_from(w.arrival);
+    c.arrival.rate = w.offered_load;
+    c.workers = std::max(1u, w.threads);
+    c.duration_ms = w.duration_ms;
+    c.shed_cap = w.shed_cap;
+    c.slo_us = w.slo_us;
+    c.service_ns = util::env_u64("R2D_SERVICE_NS", c.service_ns);
+    return c;
+  }
+};
+
+struct ServiceResult {
+  std::uint64_t generated = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  Histogram response;               ///< ns from intended arrival
+  std::uint64_t slo_violations = 0;
+  std::uint64_t displacement_sum = 0;
+  std::uint64_t displacement_max = 0;
+  double seconds = 0.0;             ///< wall time, generator start -> drain
+
+  /// The conservation law the harness exists to check: every arrival was
+  /// admitted or shed, and every admitted task was completed (post-drain).
+  bool conserved() const {
+    return generated == admitted + shed && admitted == completed &&
+           response.count() == completed;
+  }
+
+  double p50_us() const { return response.quantile(0.50) / 1e3; }
+  double p99_us() const { return response.quantile(0.99) / 1e3; }
+  double p999_us() const { return response.quantile(0.999) / 1e3; }
+  double shed_rate() const {
+    return generated == 0 ? 0.0
+                          : static_cast<double>(shed) /
+                                static_cast<double>(generated);
+  }
+  double slo_violation_rate() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(slo_violations) /
+                                static_cast<double>(completed);
+  }
+  double mean_displacement() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(displacement_sum) /
+                                static_cast<double>(completed);
+  }
+  double completed_rate() const {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(completed) / seconds;
+  }
+};
+
+namespace detail {
+
+/// Uniform container surface: push/pop (stack, bag, strict baselines) or
+/// enqueue/dequeue (queue) — whichever the type has.
+template <typename Q>
+inline void dispatch_push(Q& queue, Task task) {
+  if constexpr (requires { queue.push(task); }) {
+    queue.push(task);
+  } else {
+    queue.enqueue(task);
+  }
+}
+
+template <typename Q>
+inline std::optional<Task> dispatch_pop(Q& queue) {
+  if constexpr (requires { queue.pop(); }) {
+    return queue.pop();
+  } else {
+    return queue.dequeue();
+  }
+}
+
+/// Spin the synthetic service time (too short for sleep syscalls).
+inline void spin_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace detail
+
+/// Run one open-loop service scenario against `queue`. Blocks until the
+/// schedule is exhausted AND every admitted task has been served (drain),
+/// so the returned counters can satisfy admitted == completed exactly.
+template <typename Queue>
+ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
+  using Clock = std::chrono::steady_clock;
+
+  Admission admission(config.shed_cap);
+  ArrivalProcess arrivals(config.arrival);
+  std::atomic<bool> generator_done{false};
+  std::atomic<std::uint64_t> max_served{0};
+  const std::uint64_t horizon_ns = config.duration_ms * 1'000'000ull;
+  const std::uint64_t slo_ns = config.slo_us * 1'000ull;
+
+  struct alignas(64) WorkerStats {
+    Histogram response;
+    std::uint64_t slo_violations = 0;
+    std::uint64_t displacement_sum = 0;
+    std::uint64_t displacement_max = 0;
+  };
+  std::vector<WorkerStats> stats(config.workers);
+  std::uint64_t generated = 0;
+
+  const auto origin = Clock::now();
+
+  std::thread generator([&] {
+    std::uint64_t seq = 0;
+    while (true) {
+      const std::uint64_t intended = arrivals.next_ns();
+      if (intended >= horizon_ns) break;
+      // Pace to the intent: sleep for the bulk of a long gap, spin the
+      // rest. If we are already past the intent (the open-loop case of
+      // interest), fall straight through — the schedule is never
+      // re-spaced.
+      const auto due = origin + std::chrono::nanoseconds(intended);
+      auto now = Clock::now();
+      if (due - now > std::chrono::microseconds(200)) {
+        std::this_thread::sleep_for(due - now -
+                                    std::chrono::microseconds(100));
+      }
+      while (Clock::now() < due) {
+      }
+      ++generated;
+      if (admission.try_admit()) {
+        detail::dispatch_push(queue, Task{intended, seq++});
+      }
+    }
+    generator_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(config.workers);
+  for (unsigned t = 0; t < config.workers; ++t) {
+    workers.emplace_back([&, t] {
+      WorkerStats& local = stats[t];
+      while (true) {
+        std::optional<Task> task = detail::dispatch_pop(queue);
+        if (!task) {
+          if (generator_done.load(std::memory_order_acquire)) {
+            // No new pushes can arrive after generator_done; one more pop
+            // closes the race between our empty probe and the flag store.
+            task = detail::dispatch_pop(queue);
+            if (!task) break;
+          } else {
+            std::this_thread::yield();
+            continue;
+          }
+        }
+        detail::spin_ns(config.service_ns);
+        const auto now = Clock::now();
+        const std::uint64_t elapsed = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - origin)
+                .count());
+        // Pacing guarantees push time >= intended, so elapsed > intended;
+        // the guard only shields against a pathological clock.
+        const std::uint64_t response_ns =
+            elapsed > task->intended_ns ? elapsed - task->intended_ns : 0;
+        local.response.add(response_ns);
+        if (response_ns > slo_ns) ++local.slo_violations;
+        // Admission-order displacement: how many later admissions were
+        // already served when this task finally ran.
+        std::uint64_t seen = max_served.load(std::memory_order_relaxed);
+        while (seen < task->seq &&
+               !max_served.compare_exchange_weak(seen, task->seq,
+                                                 std::memory_order_relaxed)) {
+        }
+        if (seen > task->seq) {
+          const std::uint64_t displacement = seen - task->seq;
+          local.displacement_sum += displacement;
+          if (displacement > local.displacement_max) {
+            local.displacement_max = displacement;
+          }
+        }
+        admission.complete();
+      }
+    });
+  }
+
+  generator.join();
+  for (std::thread& w : workers) w.join();
+
+  ServiceResult result;
+  result.generated = generated;
+  result.admitted = admission.admitted();
+  result.shed = admission.shed();
+  result.completed = admission.completed();
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - origin).count();
+  for (const WorkerStats& s : stats) {
+    result.response.merge(s.response);
+    result.slo_violations += s.slo_violations;
+    result.displacement_sum += s.displacement_sum;
+    if (s.displacement_max > result.displacement_max) {
+      result.displacement_max = s.displacement_max;
+    }
+  }
+  return result;
+}
+
+}  // namespace r2d::harness::service

@@ -1,0 +1,79 @@
+// Bounded admission with explicit shed accounting.
+//
+// An open-loop generator does not slow down when the server falls behind
+// — that is the point — so something must give when arrivals outrun
+// service capacity. This harness makes the safety valve explicit: a task
+// is *admitted* only while fewer than `cap` admitted tasks are still in
+// flight (admitted but not completed); past that it is *shed* — counted
+// and dropped, never queued. Load shedding at admission is what a real
+// dispatcher does under overload (better a fast error than an unbounded
+// queue whose tail latency is a function of how long you have been
+// overloaded), and it bounds the run-queue the container under test has
+// to carry: at most `cap` items, whatever the offered load.
+//
+// Conservation is the whole contract, and it is checked, not assumed:
+//   generated == admitted + shed            (every arrival counted once)
+//   admitted  == completed + inflight       (at any instant)
+//   admitted  == completed                  (after drain)
+// tests/test_service.cpp hammers try_admit/complete from 4 threads and
+// bench/service_dispatch.cpp refuses to emit a row that fails either
+// equation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace r2d::harness::service {
+
+class Admission {
+ public:
+  explicit Admission(std::uint64_t cap) : cap_(cap) {}
+
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+
+  /// Admit-or-shed one arrival. True: the caller owns one in-flight task
+  /// and must eventually call complete(). False: the arrival was shed
+  /// (accounted here; the caller drops it).
+  bool try_admit() {
+    std::uint64_t in = inflight_.load(std::memory_order_relaxed);
+    while (in < cap_) {
+      if (inflight_.compare_exchange_weak(in, in + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS failure reloaded `in`; loop re-checks the cap.
+    }
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Retire one admitted task (worker side, after service).
+  void complete() {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t cap() const { return cap_; }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_acquire);
+  }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_acquire); }
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::uint64_t cap_;
+  alignas(64) std::atomic<std::uint64_t> inflight_{0};
+  alignas(64) std::atomic<std::uint64_t> admitted_{0};
+  alignas(64) std::atomic<std::uint64_t> shed_{0};
+  alignas(64) std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace r2d::harness::service

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/env.hpp"
 
@@ -21,6 +22,19 @@ struct Workload {
   /// Per-thread event cap for the quality oracle (bounds its memory); the
   /// quality run ends early when any thread fills its log.
   std::uint64_t quality_events = util::env_u64("R2D_QUALITY_EVENTS", 1u << 17);
+
+  // Open-loop service knobs (harness/service/): arrival-process shape,
+  // offered load, response-time SLO, and admission cap. Consumed by
+  // service::ServiceConfig::from_workload(); inert for the closed-loop
+  // runners above.
+  /// Arrival process: "poisson" or "onoff" (bursty Markov-modulated).
+  std::string arrival = util::env_str("R2D_ARRIVAL", "poisson");
+  /// Mean offered load in arrivals per second.
+  double offered_load = util::env_f64("R2D_OFFERED_LOAD", 100000.0);
+  /// Response-time SLO (microseconds, from *intended* arrival).
+  std::uint64_t slo_us = util::env_u64("R2D_SLO_US", 1000);
+  /// Admission cap: tasks in flight beyond this are shed, not queued.
+  std::uint64_t shed_cap = util::env_u64("R2D_SHED_CAP", 1024);
 };
 
 }  // namespace r2d::harness

@@ -47,8 +47,9 @@ struct HeapAlloc {
 /// Pool-backed policy with per-thread magazines.
 //
 // Each thread claims a cache-line-sized slot per instance (the reclaimers'
-// claim_slot machinery: at most 256 distinct threads per instance, cached
-// through a thread-local ring). A slot owns up to two magazines — a
+// claim_slot machinery: at most R2D_MAX_SLOTS distinct threads per
+// instance — SlotsExhausted past that — cached through a thread-local
+// ring). A slot owns up to two magazines — a
 // working LIFO chain plus one full spare (Bonwick's two-magazine scheme),
 // so alternating acquire/release never oscillates against the shared
 // depot. Overflowing magazines are flushed whole — one tagged CAS splices
@@ -61,7 +62,6 @@ struct HeapAlloc {
 // blocks), read once per instance.
 template <typename T>
 class PoolAlloc {
-  static constexpr std::size_t kMaxSlots = 256;
   static constexpr std::size_t kDepotShards = 8;
   static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << 48) - 1;
 
@@ -195,7 +195,7 @@ class PoolAlloc {
     thread_local detail::SlotCache<Slot> cache;
     Slot* s = cache.lookup(id_);
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), kMaxSlots, hwm_);
+      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
       cache.insert(id_, s);
     }
     return s;
@@ -208,10 +208,13 @@ class PoolAlloc {
 
   const std::uint64_t id_ = detail::next_instance_id();
   const unsigned mag_size_ = magazine_size_from_env();
+  // R2D_MAX_SLOTS, read once per process; declared before slots_ (which
+  // it sizes). claim_slot throws SlotsExhausted past this many threads.
+  const std::size_t max_slots_ = detail::max_slots();
   Pool<T> pool_;
   DepotShard depot_[kDepotShards];
   std::atomic<std::size_t> hwm_{0};
-  std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};
+  std::unique_ptr<Slot[]> slots_{new Slot[max_slots_]};
 };
 
 }  // namespace r2d::reclaim

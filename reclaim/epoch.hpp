@@ -50,7 +50,6 @@
 namespace r2d::reclaim {
 
 class EpochReclaimer {
-  static constexpr std::size_t kMaxSlots = 256;
   static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
   // Retires between advance attempts. The membarrier path amortizes its
   // advance-side syscall over a longer cadence; garbage stays bounded by
@@ -220,7 +219,7 @@ class EpochReclaimer {
     thread_local detail::SlotCache<Slot> cache;
     Slot* s = cache.lookup(id_);
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), kMaxSlots, hwm_);
+      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
       cache.insert(id_, s);
     }
     return s;
@@ -230,9 +229,12 @@ class EpochReclaimer {
   const bool membarrier_ = detail::use_membarrier();
   const std::uint64_t advance_every_ =
       membarrier_ ? kAdvanceEveryMembarrier : kAdvanceEvery;
+  // R2D_MAX_SLOTS, read once per process; declared before slots_ (which
+  // it sizes). claim_slot throws SlotsExhausted past this many threads.
+  const std::size_t max_slots_ = detail::max_slots();
   std::atomic<std::uint64_t> global_epoch_{0};
   std::atomic<std::size_t> hwm_{0};
-  std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};
+  std::unique_ptr<Slot[]> slots_{new Slot[max_slots_]};
 };
 
 }  // namespace r2d::reclaim

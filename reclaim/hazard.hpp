@@ -21,7 +21,6 @@
 namespace r2d::reclaim {
 
 class HazardReclaimer {
-  static constexpr std::size_t kMaxSlots = 256;
   static constexpr std::size_t kScanThreshold = 128;
 
   struct Retired {
@@ -176,15 +175,18 @@ class HazardReclaimer {
     thread_local detail::SlotCache<Slot> cache;
     Slot* s = cache.lookup(id_);
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), kMaxSlots, hwm_);
+      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
       cache.insert(id_, s);
     }
     return s;
   }
 
   const std::uint64_t id_ = detail::next_instance_id();
+  // R2D_MAX_SLOTS, read once per process; declared before slots_ (which
+  // it sizes). claim_slot throws SlotsExhausted past this many threads.
+  const std::size_t max_slots_ = detail::max_slots();
   std::atomic<std::size_t> hwm_{0};
-  std::unique_ptr<Slot[]> slots_{new Slot[kMaxSlots]};
+  std::unique_ptr<Slot[]> slots_{new Slot[max_slots_]};
 };
 
 }  // namespace r2d::reclaim

@@ -9,10 +9,43 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace r2d::reclaim::detail {
+#include "util/env.hpp"
+
+namespace r2d::reclaim {
+
+/// Thrown when a reclaimer/allocator instance has no free per-thread slot
+/// left. Slots bind a thread to an instance for the *instance's* lifetime
+/// — there is no slot leasing yet (see ROADMAP), so sustained thread churn
+/// against one long-lived container exhausts the registry even though the
+/// threads are long gone. The remedy is the knob the message names: raise
+/// R2D_MAX_SLOTS, or reuse worker threads instead of churning them.
+class SlotsExhausted : public std::runtime_error {
+ public:
+  explicit SlotsExhausted(std::size_t max_slots)
+      : std::runtime_error(
+            "r2d::reclaim: all " + std::to_string(max_slots) +
+            " per-thread slots of this instance are claimed. Slots are "
+            "bound for the instance's lifetime (no slot leases yet — "
+            "ROADMAP), so thread churn counts against the cap even after "
+            "the threads exit; raise R2D_MAX_SLOTS or reuse worker "
+            "threads.") {}
+};
+
+namespace detail {
+
+/// Per-instance slot-array size: the R2D_MAX_SLOTS knob (default 256),
+/// read once per process and clamped to a sane range. Every reclaimer or
+/// PoolAlloc instance constructed afterwards sizes its registry from it.
+inline std::size_t max_slots() {
+  static const std::size_t cached = [] {
+    const std::uint64_t raw = util::env_u64("R2D_MAX_SLOTS", 256);
+    return static_cast<std::size_t>(raw < 1 ? 1 : (raw > 65536 ? 65536 : raw));
+  }();
+  return cached;
+}
 
 inline std::uint64_t next_instance_id() {
   static std::atomic<std::uint64_t> counter{1};
@@ -52,10 +85,11 @@ Slot* claim_slot(Slot* slots, std::size_t max_slots,
       return &slots[i];
     }
   }
-  std::fprintf(stderr,
-               "r2d::reclaim: out of reclaimer slots (%zu); raise kMaxSlots\n",
-               max_slots);
-  std::abort();
+  // Diagnostic failure, not an opaque abort: the exception names the knob
+  // (R2D_MAX_SLOTS) and the churn limitation, and propagates out of the
+  // container operation that needed the slot, so callers can catch it at
+  // a clean boundary. Regression-tested by tests/test_slot_exhaustion.
+  throw SlotsExhausted(max_slots);
 }
 
 /// Thread-local (instance id -> slot) cache. Small ring with LRU-ish
@@ -96,4 +130,5 @@ class SlotCache {
   unsigned next_ = 0;
 };
 
-}  // namespace r2d::reclaim::detail
+}  // namespace detail
+}  // namespace r2d::reclaim

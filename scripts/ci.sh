@@ -8,8 +8,10 @@
 # benches (packed pointers and free-list splices are easy to get wrong
 # under ASan/TSan); the plain config adds a Release-mode perf smoke that
 # records machine-readable bench points as BENCH_micro.json /
-# BENCH_fig2.json / BENCH_alloc.json (ops/s per structure, host core
-# count, git sha — see bench/common.hpp for the schema).
+# BENCH_fig2.json / BENCH_alloc.json / BENCH_service.json (ops/s per
+# structure — or, for the service file, CO-safe response quantiles and
+# shed rates — host core count, git sha; see bench/common.hpp and
+# bench/service_dispatch.cpp for the schemas).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +43,14 @@ echo "=== smoke: ext_deque_scaling (locked fallback arm) ==="
 R2D_DEQUE_COLS=locked \
   R2D_DURATION_MS=20 R2D_REPEATS=1 R2D_MAX_THREADS=2 R2D_PREFILL=4096 \
   "$BUILD_DIR/ext_deque_scaling"
+# The open-loop service harness end to end (generator pacing, admission
+# shedding, drain) at a low rate and short horizon — under ASan/TSan this
+# is the only place the bag's take certification and the dispatch drain
+# race run against a real arrival schedule. The bench itself exits
+# nonzero on any conservation violation.
+echo "=== smoke: service_dispatch ==="
+R2D_DURATION_MS=50 R2D_OFFERED_LOAD=20000 R2D_MAX_THREADS=2 \
+  R2D_SHED_CAP=256 "$BUILD_DIR/service_dispatch"
 if [ -x "$BUILD_DIR/micro_ops" ]; then
   # Runs under whatever sanitizer this config selected — the assertion
   # that the packed head-word fast paths are clean under ASan/TSan too.
@@ -66,7 +76,8 @@ if [ -z "$SANITIZER" ]; then
   GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   # Drop stale trajectory files so the -s assertions below can only pass
   # on output this run actually wrote.
-  rm -f BENCH_micro.json BENCH_fig2.json BENCH_deque.json BENCH_alloc.json
+  rm -f BENCH_micro.json BENCH_fig2.json BENCH_deque.json BENCH_alloc.json \
+        BENCH_service.json
   cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DR2D_SANITIZER=
   cmake --build "$PERF_DIR" -j "$(nproc)"
   if [ -x "$PERF_DIR/micro_ops" ]; then
@@ -102,6 +113,17 @@ if [ -z "$SANITIZER" ]; then
   test -s BENCH_deque.json
   grep -q 'dwcas' BENCH_deque.json
   grep -q 'locked' BENCH_deque.json
+  # The open-loop trajectory: container x arrival x offered load with
+  # CO-safe quantiles, shed rate, and displacement. At least one row per
+  # scheduling core must be present.
+  echo "=== perf smoke: service_dispatch -> BENCH_service.json ==="
+  R2D_GIT_SHA="$GIT_SHA" R2D_BENCH_JSON=BENCH_service.json \
+    R2D_DURATION_MS=100 R2D_MAX_THREADS=2 \
+    "$PERF_DIR/service_dispatch"
+  test -s BENCH_service.json
+  grep -q '"structure": "2D-bag"' BENCH_service.json
+  grep -q '"structure": "2D-stack"' BENCH_service.json
+  grep -q '"structure": "2D-queue"' BENCH_service.json
 fi
 
 echo "ci.sh: all green"

@@ -1,0 +1,75 @@
+// Regression test for graceful slot exhaustion: when an instance's
+// per-thread slot registry (R2D_MAX_SLOTS) fills, the claiming operation
+// must throw reclaim::SlotsExhausted whose message names the knob — not
+// abort the process, which is what it used to do.
+//
+// The cap is read once per process, so this test pins it to 2 via setenv
+// before constructing anything, then drives a third thread into each
+// registry flavour (epoch, hazard, pool allocator).
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "reclaim/alloc.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/slot_registry.hpp"
+#include "check.hpp"
+
+namespace {
+
+/// Run `claim` on `n` fresh threads sequentially; returns how many threw
+/// SlotsExhausted with a message naming the R2D_MAX_SLOTS knob.
+template <typename Claim>
+unsigned exhaust(unsigned n, Claim claim) {
+  std::atomic<unsigned> diagnostic_throws{0};
+  for (unsigned t = 0; t < n; ++t) {
+    std::thread([&] {
+      try {
+        claim();
+      } catch (const r2d::reclaim::SlotsExhausted& e) {
+        const std::string what = e.what();
+        if (what.find("R2D_MAX_SLOTS") != std::string::npos) {
+          diagnostic_throws.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }).join();
+  }
+  return diagnostic_throws.load();
+}
+
+}  // namespace
+
+int main() {
+  // Must precede the first detail::max_slots() call anywhere in the
+  // process (the knob is cached once).
+  setenv("R2D_MAX_SLOTS", "2", 1);
+  CHECK_EQ(r2d::reclaim::detail::max_slots(), 2u);
+
+  {
+    // Epoch: slots are claimed by pin(); threads 1–2 fit, 3–4 must throw
+    // the diagnostic (slots stay bound to exited threads — the churn
+    // limitation the exception text documents).
+    r2d::reclaim::EpochReclaimer reclaimer;
+    CHECK_EQ(exhaust(4, [&] { auto guard = reclaimer.pin(); }), 2u);
+  }
+  {
+    // Hazard: same protocol, same registry machinery.
+    r2d::reclaim::HazardReclaimer reclaimer;
+    CHECK_EQ(exhaust(4, [&] { auto guard = reclaimer.pin(); }), 2u);
+  }
+  {
+    // PoolAlloc: the magazine layer claims a slot on first acquire. The
+    // two successful threads hand their block straight back.
+    r2d::reclaim::PoolAlloc<std::uint64_t> alloc;
+    CHECK_EQ(exhaust(4,
+                     [&] {
+                       std::uint64_t* p = alloc.acquire(7ull);
+                       alloc.release(p);
+                     }),
+             2u);
+  }
+  return TEST_MAIN_RESULT();
+}
