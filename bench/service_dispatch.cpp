@@ -14,13 +14,22 @@
 // violation fails the bench — the accounting is the point, not a
 // best-effort statistic.
 //
+// After the sweep, a CHURN arm (EXPERIMENTS.md E15) reruns the default
+// core in spawn-per-request mode — every dispatched request served by a
+// fresh short-lived thread against one long-lived
+// TwoDBag<Task, EpochReclaimer, PoolAlloc> — and asserts the slot-lease
+// invariant: the container's slot high-water mark stays within the
+// dispatcher count + O(1) no matter how many thousands of threads churn
+// through. R2D_CHURN_ONLY=1 runs just this arm (the ci.sh smoke).
+//
 // Knobs: R2D_OFFERED_LOAD (base arrivals/s), R2D_ARRIVAL (reproducibility
 // seed source for the processes via R2D_ARRIVAL_SEED; the *kinds* are
 // always swept here), R2D_SLO_US, R2D_SHED_CAP, R2D_SERVICE_NS,
 // R2D_DURATION_MS (schedule horizon), R2D_MAX_THREADS (worker cap),
-// R2D_BENCH_JSON (emit BENCH_service.json). Single-threaded caveat: on a
-// 1-core host the generator and workers time-share, so absolute
-// latencies are inflated; relative container ordering is what E14 reads.
+// R2D_CHURN_ONLY, R2D_BENCH_JSON (emit BENCH_service.json).
+// Single-threaded caveat: on a 1-core host the generator and workers
+// time-share, so absolute latencies are inflated; relative container
+// ordering is what E14 reads.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -32,6 +41,7 @@
 #include "core/two_d_queue.hpp"
 #include "core/two_d_stack.hpp"
 #include "harness/service/server.hpp"
+#include "reclaim/epoch.hpp"
 #include "util/crash_trace.hpp"
 
 namespace {
@@ -44,6 +54,7 @@ struct ServiceRow {
   std::string structure;
   std::string arrival;
   double offered = 0.0;
+  std::string mode = "reuse";  ///< worker mode: "reuse" | "spawn"
   service::ServiceResult result;
 };
 
@@ -98,6 +109,9 @@ void emit_service_json(const std::vector<ServiceRow>& rows) {
         << ", \"slo_violation_rate\": " << r.result.slo_violation_rate()
         << ", \"mean_displacement\": " << r.result.mean_displacement()
         << ", \"max_displacement\": " << r.result.displacement_max
+        << ", \"mode\": \"" << r.mode
+        << "\", \"threads_spawned\": " << r.result.threads_spawned
+        << ", \"slot_hwm\": " << r.result.slot_hwm
         << ", \"conserved\": " << (r.result.conserved() ? "true" : "false")
         << "}";
   }
@@ -134,49 +148,89 @@ int main() {
 
   std::vector<ServiceRow> rows;
   bool all_conserved = true;
-  r2d::util::Table table({"structure", "arrival", "offered/s", "done/s",
-                          "shed%", "p50_us", "p99_us", "p999_us", "slo%",
-                          "mean_disp", "max_disp"});
-  for (const char* structure : {"2D-bag", "2D-stack", "2D-queue"}) {
-    for (const service::ArrivalKind kind :
-         {service::ArrivalKind::kPoisson, service::ArrivalKind::kOnOff}) {
-      // 0.5x/1.0x bracket the nominal load; 4x is deliberate overload,
-      // where the admission cap (not the container) must be what gives.
-      for (const double load_factor : {0.5, 1.0, 4.0}) {
-        service::ServiceConfig config = base;
-        config.arrival.kind = kind;
-        config.arrival.rate = base.arrival.rate * load_factor;
-        const ServiceRow row{structure, service::to_string(kind),
-                             config.arrival.rate,
-                             run_core(structure, params, config)};
-        const service::ServiceResult& r = row.result;
-        if (!r.conserved()) {
-          all_conserved = false;
-          std::cerr << "CONSERVATION VIOLATION: " << structure << "/"
-                    << row.arrival << "@" << row.offered << ": generated="
-                    << r.generated << " admitted=" << r.admitted
-                    << " shed=" << r.shed << " completed=" << r.completed
-                    << "\n";
+  r2d::util::Table table({"structure", "arrival", "mode", "offered/s",
+                          "done/s", "shed%", "p50_us", "p99_us", "p999_us",
+                          "slo%", "mean_disp", "max_disp"});
+  auto record = [&](const ServiceRow& row) {
+    const service::ServiceResult& r = row.result;
+    if (!r.conserved()) {
+      all_conserved = false;
+      std::cerr << "CONSERVATION VIOLATION: " << row.structure << "/"
+                << row.arrival << "@" << row.offered << ": generated="
+                << r.generated << " admitted=" << r.admitted
+                << " shed=" << r.shed << " completed=" << r.completed
+                << "\n";
+    }
+    table.add_row({row.structure, row.arrival, row.mode,
+                   r2d::util::Table::num(row.offered, 0),
+                   r2d::util::Table::num(r.completed_rate(), 0),
+                   r2d::util::Table::num(100.0 * r.shed_rate(), 2),
+                   r2d::util::Table::num(r.p50_us(), 1),
+                   r2d::util::Table::num(r.p99_us(), 1),
+                   r2d::util::Table::num(r.p999_us(), 1),
+                   r2d::util::Table::num(100.0 * r.slo_violation_rate(), 2),
+                   r2d::util::Table::num(r.mean_displacement(), 1),
+                   std::to_string(r.displacement_max)});
+    rows.push_back(row);
+  };
+
+  const bool churn_only = r2d::util::env_u64("R2D_CHURN_ONLY", 0) != 0;
+  if (!churn_only) {
+    for (const char* structure : {"2D-bag", "2D-stack", "2D-queue"}) {
+      for (const service::ArrivalKind kind :
+           {service::ArrivalKind::kPoisson, service::ArrivalKind::kOnOff}) {
+        // 0.5x/1.0x bracket the nominal load; 4x is deliberate overload,
+        // where the admission cap (not the container) must be what gives.
+        for (const double load_factor : {0.5, 1.0, 4.0}) {
+          service::ServiceConfig config = base;
+          config.arrival.kind = kind;
+          config.arrival.rate = base.arrival.rate * load_factor;
+          record(ServiceRow{structure, service::to_string(kind),
+                            config.arrival.rate,
+                            config.spawn_per_request ? "spawn" : "reuse",
+                            run_core(structure, params, config)});
         }
-        table.add_row({row.structure, row.arrival,
-                       r2d::util::Table::num(row.offered, 0),
-                       r2d::util::Table::num(r.completed_rate(), 0),
-                       r2d::util::Table::num(100.0 * r.shed_rate(), 2),
-                       r2d::util::Table::num(r.p50_us(), 1),
-                       r2d::util::Table::num(r.p99_us(), 1),
-                       r2d::util::Table::num(r.p999_us(), 1),
-                       r2d::util::Table::num(100.0 * r.slo_violation_rate(), 2),
-                       r2d::util::Table::num(r.mean_displacement(), 1),
-                       std::to_string(r.displacement_max)});
-        rows.push_back(row);
       }
     }
   }
+
+  // Churn arm (E15): spawn-per-request dispatch against one long-lived
+  // fully-leased container — both the reclaimer's and the pool
+  // allocator's slots turn over at request rate. The lease invariant is
+  // asserted, not just reported: the slot high-water mark must stay
+  // within the concurrent claimant count (dispatchers + generator-free
+  // margin), or the run fails.
+  bool churn_ok = true;
+  {
+    service::ServiceConfig config = base;
+    config.arrival.kind = service::ArrivalKind::kPoisson;
+    config.spawn_per_request = true;
+    r2d::TwoDBag<service::Task, r2d::reclaim::EpochReclaimer,
+                 r2d::reclaim::PoolAlloc>
+        queue(params);
+    ServiceRow row{"2D-bag", "poisson", config.arrival.rate, "spawn",
+                   service::run_service(queue, config)};
+    record(row);
+    const service::ServiceResult& r = row.result;
+    std::cout << "churn arm: " << r.threads_spawned
+              << " ephemeral worker threads over one container, slot HWM "
+              << r.slot_hwm << " (dispatchers=" << config.workers << ")\n";
+    if (r.slot_hwm > config.workers + 4) {
+      std::cerr << "SLOT LEASE VIOLATION: HWM " << r.slot_hwm << " > "
+                << config.workers << " dispatchers + 4\n";
+      churn_ok = false;
+    }
+  }
+
   emit(table, env, "service_dispatch");
   emit_service_json(rows);
 
   if (!all_conserved) {
     std::cerr << "service_dispatch: conservation violated (see above)\n";
+    return 1;
+  }
+  if (!churn_ok) {
+    std::cerr << "service_dispatch: slot lease invariant violated\n";
     return 1;
   }
   return 0;

@@ -176,6 +176,21 @@ class TwoDQueue {
     return get_max_.load(std::memory_order_acquire);
   }
 
+  /// Highest per-thread slot index leased across the reclaimer and the
+  /// allocator — the churn harness's bounded-lease gauge (DESIGN.md §13).
+  /// Zero for slotless policies (Leaky/Heap).
+  std::size_t slot_hwm() const {
+    std::size_t hwm = 0;
+    if constexpr (requires { reclaimer_.slot_hwm(); }) {
+      hwm = reclaimer_.slot_hwm();
+    }
+    if constexpr (requires { alloc_.slot_hwm(); }) {
+      const std::size_t a = alloc_.slot_hwm();
+      if (a > hwm) hwm = a;
+    }
+    return hwm;
+  }
+
  private:
   /// Refresh a column's published enqueue-serial lower bound. A plain
   /// store is enough (see Column::enq_serial); skip it when the word is

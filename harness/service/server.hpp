@@ -4,8 +4,13 @@
 // Topology: ONE generator thread walks an ArrivalProcess schedule
 // (arrival.hpp), admits or sheds each arrival (shed.hpp), and pushes
 // admitted tasks into the container; `workers` threads pop tasks, spin a
-// fixed synthetic service time, and record the response. The generator is
-// strictly open-loop: it sleeps/spins until each task's *intended*
+// fixed synthetic service time, and record the response. Worker threads
+// may be long-lived (the default) or spawned per request
+// (R2D_SPAWN_WORKERS=1): each dispatcher then runs every pop + service on
+// a fresh short-lived thread, the thread-pool-per-request shape that
+// churns reclaimer/allocator slot leases — the E15 churn experiment, with
+// the container's slot high-water mark reported in the result. The
+// generator is strictly open-loop: it sleeps/spins until each task's *intended*
 // timestamp and then moves on regardless of what the server side is doing
 // — if it ever falls behind wall-clock (a push stalled), it does not
 // re-space the schedule; it pushes immediately and keeps the original
@@ -61,6 +66,10 @@ struct ServiceConfig {
   std::uint64_t shed_cap = 1024;    ///< admission bound (R2D_SHED_CAP)
   std::uint64_t slo_us = 1000;      ///< response-time SLO (R2D_SLO_US)
   std::uint64_t service_ns = 500;   ///< synthetic per-task service time
+  /// Spawn a fresh thread per dispatched request instead of reusing the
+  /// worker (R2D_SPAWN_WORKERS): the slot-lease churn workload. Reuse is
+  /// a throughput choice, not a slot-cap necessity (DESIGN.md §13).
+  bool spawn_per_request = false;
 
   /// Lift the Workload arrival knobs into a service run shape.
   static ServiceConfig from_workload(const Workload& w) {
@@ -73,6 +82,7 @@ struct ServiceConfig {
     c.shed_cap = w.shed_cap;
     c.slo_us = w.slo_us;
     c.service_ns = util::env_u64("R2D_SERVICE_NS", c.service_ns);
+    c.spawn_per_request = util::env_u64("R2D_SPAWN_WORKERS", 0) != 0;
     return c;
   }
 };
@@ -86,6 +96,8 @@ struct ServiceResult {
   std::uint64_t slo_violations = 0;
   std::uint64_t displacement_sum = 0;
   std::uint64_t displacement_max = 0;
+  std::uint64_t threads_spawned = 0;  ///< ephemeral workers (spawn mode)
+  std::size_t slot_hwm = 0;  ///< container slot high-water mark, if leased
   double seconds = 0.0;             ///< wall time, generator start -> drain
 
   /// The conservation law the harness exists to check: every arrival was
@@ -170,6 +182,7 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
     std::uint64_t slo_violations = 0;
     std::uint64_t displacement_sum = 0;
     std::uint64_t displacement_max = 0;
+    std::uint64_t threads_spawned = 0;
   };
   std::vector<WorkerStats> stats(config.workers);
   std::uint64_t generated = 0;
@@ -206,20 +219,39 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
   for (unsigned t = 0; t < config.workers; ++t) {
     workers.emplace_back([&, t] {
       WorkerStats& local = stats[t];
+      // In spawn-per-request mode the dispatcher hands every pop AND its
+      // service spin to a fresh short-lived thread — so the container's
+      // per-thread slots (reclaimer + allocator) churn at request rate.
+      // The dispatcher keeps the bookkeeping: stats are read only after
+      // the join.
+      auto mode_pop = [&]() -> std::optional<Task> {
+        if (!config.spawn_per_request) return detail::dispatch_pop(queue);
+        std::optional<Task> popped;
+        std::thread([&] {
+          popped = detail::dispatch_pop(queue);
+          if (popped) detail::spin_ns(config.service_ns);
+        }).join();
+        ++local.threads_spawned;
+        return popped;
+      };
       while (true) {
-        std::optional<Task> task = detail::dispatch_pop(queue);
+        std::optional<Task> task = mode_pop();
         if (!task) {
           if (generator_done.load(std::memory_order_acquire)) {
             // No new pushes can arrive after generator_done; one more pop
             // closes the race between our empty probe and the flag store.
-            task = detail::dispatch_pop(queue);
+            task = mode_pop();
             if (!task) break;
+          } else if (config.spawn_per_request) {
+            // Sleeping (not yielding) bounds the empty-probe spawn rate.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            continue;
           } else {
             std::this_thread::yield();
             continue;
           }
         }
-        detail::spin_ns(config.service_ns);
+        if (!config.spawn_per_request) detail::spin_ns(config.service_ns);
         const auto now = Clock::now();
         const std::uint64_t elapsed = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(now - origin)
@@ -266,6 +298,10 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
     if (s.displacement_max > result.displacement_max) {
       result.displacement_max = s.displacement_max;
     }
+    result.threads_spawned += s.threads_spawned;
+  }
+  if constexpr (requires { queue.slot_hwm(); }) {
+    result.slot_hwm = queue.slot_hwm();
   }
   return result;
 }

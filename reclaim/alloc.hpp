@@ -42,6 +42,7 @@ struct HeapAlloc {
     return new T{std::forward<Args>(args)...};
   }
   void release(T* obj) { delete obj; }
+  std::size_t slot_hwm() const { return 0; }  ///< stateless: no slots
 };
 
 /// Pool-backed policy with per-thread magazines.
@@ -61,7 +62,7 @@ struct HeapAlloc {
 // Magazine size: R2D_MAGAZINE (default 32 blocks ≈ 2 KiB of cache-line
 // blocks), read once per instance.
 template <typename T>
-class PoolAlloc {
+class PoolAlloc : private detail::Lessor {
   static constexpr std::size_t kDepotShards = 8;
   static constexpr std::uint64_t kPtrMask = (std::uint64_t{1} << 48) - 1;
 
@@ -80,11 +81,20 @@ class PoolAlloc {
   };
 
  public:
-  PoolAlloc() = default;
+  PoolAlloc() { detail::ChurnRegistry::get().add_lessor(id_, this); }
   PoolAlloc(const PoolAlloc&) = delete;
   PoolAlloc& operator=(const PoolAlloc&) = delete;
-  // Trivial teardown: magazines and depots hold only interior pointers
-  // into pool_'s slabs, which pool_'s destructor frees wholesale.
+
+  ~PoolAlloc() {
+    // Unregister first so no thread-exit walk can race teardown. The rest
+    // is trivial: magazines and depots hold only interior pointers into
+    // pool_'s slabs, which pool_'s destructor frees wholesale.
+    detail::ChurnRegistry::get().remove_lessor(id_);
+  }
+
+  /// Highest slot index ever claimed — the churn harness's bounded-lease
+  /// gauge (EXPERIMENTS.md E15).
+  std::size_t slot_hwm() const { return hwm_.load(std::memory_order_acquire); }
 
   template <typename... Args>
   T* acquire(Args&&... args) {
@@ -100,6 +110,40 @@ class PoolAlloc {
   unsigned magazine_size() const { return mag_size_; }
 
  private:
+  /// Release the slot `token` holds on this instance (thread-exit walk or
+  /// post-abandon race, arbitrated by the owner CAS).
+  void release_thread(std::uint64_t token) noexcept override {
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
+      if (detail::acquire_for_cleanse(slots_[i], token)) {
+        flush_slot(slots_[i]);
+        slots_[i].owner.store(0, std::memory_order_release);
+      }
+      return;
+    }
+  }
+
+  /// Flush both magazines so no block is stranded in a parked slot: the
+  /// spare (always exactly full) splices onto the depot in one CAS; the
+  /// working magazine is partial, and the depot's refill math assumes full
+  /// batches, so its blocks drain to the pool's free lists one by one.
+  /// Caller holds the arbitration CAS.
+  void flush_slot(Slot& s) {
+    if (s.spare != nullptr) {
+      depot_push(&s, s.spare);
+      s.spare = nullptr;
+    }
+    void* block = s.mag;
+    while (block != nullptr) {
+      void* next = Pool<T>::chain_next(block).load(std::memory_order_relaxed);
+      pool_.free_block(block);
+      block = next;
+    }
+    s.mag = nullptr;
+    s.count = 0;
+  }
+
   void* take_block(Slot* s) {
     void* block = s->mag;
     if (block != nullptr) [[likely]] {
@@ -193,9 +237,17 @@ class PoolAlloc {
 
   Slot* local_slot() {
     thread_local detail::SlotCache<Slot> cache;
-    Slot* s = cache.lookup(id_);
+    Slot* s = cache.lookup(id_, detail::thread_token());
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
+      s = detail::claim_slot(
+          slots_.get(), max_slots_, hwm_, id_,
+          static_cast<detail::Lessor*>(this),
+          [](const Slot&) {
+            // Magazines hold no in-flight state — a dead owner's slot is
+            // always quiesced; its blocks flow back through flush_slot.
+            return true;
+          },
+          [this](Slot& slot) { flush_slot(slot); });
       cache.insert(id_, s);
     }
     return s;

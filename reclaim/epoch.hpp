@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "reclaim/membarrier.hpp"
@@ -49,7 +50,7 @@
 
 namespace r2d::reclaim {
 
-class EpochReclaimer {
+class EpochReclaimer : private detail::Lessor {
   static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
   // Retires between advance attempts. The membarrier path amortizes its
   // advance-side syscall over a longer cadence; garbage stays bounded by
@@ -75,12 +76,20 @@ class EpochReclaimer {
  public:
   static constexpr unsigned kMaxProtected = 4;
 
-  EpochReclaimer() = default;
+  EpochReclaimer() {
+    detail::ChurnRegistry::get().add_lessor(id_, this);
+  }
   EpochReclaimer(const EpochReclaimer&) = delete;
   EpochReclaimer& operator=(const EpochReclaimer&) = delete;
 
   ~EpochReclaimer() {
-    // Single-threaded by contract (all guards gone): drain everything.
+    // Unregister FIRST: after this returns, no thread-exit walk can reach
+    // us, so teardown races with nothing. Exited threads' slots were
+    // released by their walks; threads exiting later skip us.
+    detail::ChurnRegistry::get().remove_lessor(id_);
+    // Single-threaded by contract (all guards gone): drain everything —
+    // live slots' buckets plus the orphan queue (exited threads' retirees
+    // whose grace period had not yet passed).
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       for (auto& bucket : slots_[i].bucket) {
@@ -88,7 +97,14 @@ class EpochReclaimer {
         bucket.clear();
       }
     }
+    for (const Orphan& o : orphans_) o.retired.destroy(o.retired.node,
+                                                       o.retired.ctx);
+    orphans_.clear();
   }
+
+  /// Highest slot index ever claimed — the churn harness's bounded-lease
+  /// gauge (EXPERIMENTS.md E15).
+  std::size_t slot_hwm() const { return hwm_.load(std::memory_order_acquire); }
 
   class Guard {
    public:
@@ -181,6 +197,78 @@ class EpochReclaimer {
   bool uses_membarrier() const { return membarrier_; }
 
  private:
+  /// A retiree inherited from an exited thread's slot, stamped with the
+  /// epoch its bucket was retiring into: safe to destroy once the global
+  /// epoch has advanced twice past it (the same argument as bucket frees).
+  struct Orphan {
+    Retired retired;
+    std::uint64_t epoch;
+  };
+
+  /// Release the slot `token` holds on this instance (thread-exit walk).
+  /// The arbitration CAS makes this mutually exclusive with a stealer that
+  /// sampled the token as dead (abandoned threads); losing means the other
+  /// party cleanses, which is equally fine.
+  void release_thread(std::uint64_t token) noexcept override {
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
+      if (detail::acquire_for_cleanse(slots_[i], token)) {
+        orphan_slot(slots_[i]);
+        slots_[i].owner.store(0, std::memory_order_release);
+      }
+      return;
+    }
+  }
+
+  /// Hand a quiesced slot's retired buckets to the orphan queue and reset
+  /// the slot to fresh-claim state. Caller must hold the slot via the
+  /// arbitration CAS (exit walk or steal cleanse).
+  void orphan_slot(Slot& s) {
+    {
+      std::lock_guard<std::mutex> lock(orphan_mu_);
+      for (unsigned k = 0; k < 3; ++k) {
+        for (const Retired& r : s.bucket[k]) {
+          orphans_.push_back(Orphan{r, s.bucket_epoch[k]});
+        }
+        s.bucket[k].clear();
+      }
+      orphan_count_.store(orphans_.size(), std::memory_order_release);
+    }
+    for (unsigned k = 0; k < 3; ++k) s.bucket_epoch[k] = 0;
+    s.retires_since_advance = 0;
+    s.epoch.store(kIdle, std::memory_order_release);
+  }
+
+  /// Free every orphan whose grace period has passed: nodes retired at
+  /// epoch e are unreachable once the global epoch reaches e + 2 (no
+  /// thread pinned at <= e remains, later pins began after the unlink).
+  /// No-op under deferred-free (TSan) builds; the destructor drains.
+  void drain_orphans(std::uint64_t global_e) {
+#if !R2D_EBR_DEFER_FREES
+    if (orphan_count_.load(std::memory_order_acquire) == 0) return;
+    std::vector<Orphan> ready;
+    {
+      std::lock_guard<std::mutex> lock(orphan_mu_);
+      std::size_t keep = 0;
+      for (Orphan& o : orphans_) {
+        if (o.epoch + 2 <= global_e) {
+          ready.push_back(o);
+        } else {
+          orphans_[keep++] = o;
+        }
+      }
+      orphans_.resize(keep);
+      orphan_count_.store(keep, std::memory_order_release);
+    }
+    // Destroys outside the lock: a pooled node's release may claim a slot.
+    for (const Orphan& o : ready) o.retired.destroy(o.retired.node,
+                                                    o.retired.ctx);
+#else
+    (void)global_e;
+#endif
+  }
+
   void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
     const std::uint64_t e = s->epoch.load(std::memory_order_relaxed);
     auto& bucket = s->bucket[e % 3];
@@ -211,15 +299,28 @@ class EpochReclaimer {
       if (se != kIdle && se != e) return;  // straggler in an older epoch
     }
     std::uint64_t expected = e;
-    global_epoch_.compare_exchange_strong(expected, e + 1,
-                                          std::memory_order_acq_rel);
+    if (global_epoch_.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_acq_rel)) {
+      drain_orphans(e + 1);
+    } else {
+      drain_orphans(expected);
+    }
   }
 
   Slot* local_slot() {
     thread_local detail::SlotCache<Slot> cache;
-    Slot* s = cache.lookup(id_);
+    Slot* s = cache.lookup(id_, detail::thread_token());
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
+      s = detail::claim_slot(
+          slots_.get(), max_slots_, hwm_, id_,
+          static_cast<detail::Lessor*>(this),
+          // A dead owner's slot is stealable only outside a critical
+          // section: a pinned epoch means it died mid-operation and its
+          // protected loads can never be proven finished.
+          [](const Slot& slot) {
+            return slot.epoch.load(std::memory_order_acquire) == kIdle;
+          },
+          [this](Slot& slot) { orphan_slot(slot); });
       cache.insert(id_, s);
     }
     return s;
@@ -235,6 +336,12 @@ class EpochReclaimer {
   std::atomic<std::uint64_t> global_epoch_{0};
   std::atomic<std::size_t> hwm_{0};
   std::unique_ptr<Slot[]> slots_{new Slot[max_slots_]};
+  // Orphan queue: retirees inherited from exited threads' slots, drained
+  // by try_advance once their grace period passes (and by the destructor).
+  // The count is the hot-path gate so retiring threads skip the mutex.
+  std::mutex orphan_mu_;
+  std::vector<Orphan> orphans_;
+  std::atomic<std::size_t> orphan_count_{0};
 };
 
 }  // namespace r2d::reclaim

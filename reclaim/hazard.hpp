@@ -14,13 +14,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "reclaim/slot_registry.hpp"
 
 namespace r2d::reclaim {
 
-class HazardReclaimer {
+class HazardReclaimer : private detail::Lessor {
   static constexpr std::size_t kScanThreshold = 128;
 
   struct Retired {
@@ -39,17 +40,29 @@ class HazardReclaimer {
  public:
   static constexpr unsigned kMaxProtected = 4;
 
-  HazardReclaimer() = default;
+  HazardReclaimer() {
+    detail::ChurnRegistry::get().add_lessor(id_, this);
+  }
   HazardReclaimer(const HazardReclaimer&) = delete;
   HazardReclaimer& operator=(const HazardReclaimer&) = delete;
 
   ~HazardReclaimer() {
+    // Unregister first so no thread-exit walk can race teardown.
+    detail::ChurnRegistry::get().remove_lessor(id_);
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       for (const Retired& r : slots_[i].retired) r.destroy(r.node, r.ctx);
       slots_[i].retired.clear();
     }
+    // Orphans from exited threads that no scan adopted: destruction is
+    // quiesced by contract, so no hazard can still protect them.
+    for (const Retired& r : orphans_) r.destroy(r.node, r.ctx);
+    orphans_.clear();
   }
+
+  /// Highest slot index ever claimed — the churn harness's bounded-lease
+  /// gauge (EXPERIMENTS.md E15).
+  std::size_t slot_hwm() const { return hwm_.load(std::memory_order_acquire); }
 
   class Guard {
    public:
@@ -144,12 +157,47 @@ class HazardReclaimer {
   Guard pin() { return Guard(this, local_slot()); }
 
  private:
+  /// Release the slot `token` holds on this instance (thread-exit walk or
+  /// post-abandon race, arbitrated by the owner CAS).
+  void release_thread(std::uint64_t token) noexcept override {
+    const std::size_t n = hwm_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
+      if (detail::acquire_for_cleanse(slots_[i], token)) {
+        cleanse_slot(slots_[i]);
+        slots_[i].owner.store(0, std::memory_order_release);
+      }
+      return;
+    }
+  }
+
+  /// Null the slot's protections and move its retirees to the orphan
+  /// list; the next scan adopts them (re-checking live hazards before any
+  /// free, as for its own retirees). Caller holds the arbitration CAS.
+  void cleanse_slot(Slot& s) {
+    for (auto& h : s.hazard) h.store(nullptr, std::memory_order_release);
+    if (!s.retired.empty()) {
+      std::lock_guard<std::mutex> lock(orphan_mu_);
+      orphans_.insert(orphans_.end(), s.retired.begin(), s.retired.end());
+      s.retired.clear();
+      orphan_count_.store(orphans_.size(), std::memory_order_release);
+    }
+  }
+
   void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
     s->retired.push_back(Retired{node, ctx, destroy});
     if (s->retired.size() >= kScanThreshold) scan(s);
   }
 
   void scan(Slot* s) {
+    // Adopt orphaned retirees first: they get the same hazard re-check as
+    // our own, so a node a live thread still protects survives the scan.
+    if (orphan_count_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(orphan_mu_);
+      s->retired.insert(s->retired.end(), orphans_.begin(), orphans_.end());
+      orphans_.clear();
+      orphan_count_.store(0, std::memory_order_release);
+    }
     std::vector<void*> hazards;
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     hazards.reserve(n * kMaxProtected);
@@ -173,9 +221,21 @@ class HazardReclaimer {
 
   Slot* local_slot() {
     thread_local detail::SlotCache<Slot> cache;
-    Slot* s = cache.lookup(id_);
+    Slot* s = cache.lookup(id_, detail::thread_token());
     if (s == nullptr) {
-      s = detail::claim_slot(slots_.get(), max_slots_, hwm_);
+      s = detail::claim_slot(
+          slots_.get(), max_slots_, hwm_, id_,
+          static_cast<detail::Lessor*>(this),
+          [](const Slot& slot) {
+            // Quiesced = no protection published: a thread that died
+            // mid-protect leaks its slot rather than risking a freed node
+            // it still shields.
+            for (const auto& h : slot.hazard) {
+              if (h.load(std::memory_order_acquire) != nullptr) return false;
+            }
+            return true;
+          },
+          [this](Slot& slot) { cleanse_slot(slot); });
       cache.insert(id_, s);
     }
     return s;
@@ -187,6 +247,10 @@ class HazardReclaimer {
   const std::size_t max_slots_ = detail::max_slots();
   std::atomic<std::size_t> hwm_{0};
   std::unique_ptr<Slot[]> slots_{new Slot[max_slots_]};
+  // Retirees handed over by exited threads, adopted by the next scan.
+  std::mutex orphan_mu_;
+  std::vector<Retired> orphans_;
+  std::atomic<std::size_t> orphan_count_{0};
 };
 
 }  // namespace r2d::reclaim

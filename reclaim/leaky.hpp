@@ -27,11 +27,11 @@
 // see DESIGN.md §10 for the block-ownership pipeline). Guards must not
 // outlive the reclaimer and must not nest per thread on the same instance
 // (one pin per operation).
-// Capacity: the epoch/hazard policies bind each thread to a per-instance
-// slot that is never released, so at most 256 distinct threads may ever
-// touch one reclaimer instance over its lifetime (exceeding it aborts
-// loudly); safe slot reclamation for long-lived containers with unbounded
-// thread churn is a ROADMAP item.
+// Capacity: the epoch/hazard policies lease each thread a per-instance
+// slot (R2D_MAX_SLOTS, default 256). Leases are released at thread exit
+// and stealable from dead threads once quiesced (DESIGN.md §13), so the
+// cap bounds *concurrent* threads, not lifetime distinct ones; exceeding
+// live demand throws a diagnostic SlotsExhausted.
 //
 // The leaky policy performs no reclamation at all: protect is a plain
 // acquire load and retire drops the node on the floor. It is the zero-cost
@@ -40,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace r2d::reclaim {
@@ -81,6 +82,8 @@ class LeakyReclaimer {
   };
 
   Guard pin() { return Guard{}; }
+
+  std::size_t slot_hwm() const { return 0; }  ///< slotless: nothing leased
 };
 
 }  // namespace r2d::reclaim

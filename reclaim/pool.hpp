@@ -116,6 +116,12 @@ class Pool {
         static_cast<char*>(block) + kBlockStride - sizeof(void*));
   }
 
+  /// Return a raw block to a free list — the layered allocators' teardown
+  /// path for partially-filled magazines (a depot holds only *full*
+  /// magazines, so a dying thread's working magazine drains here block by
+  /// block).
+  void free_block(void* block) { push_block(local_shard(), block); }
+
   /// Carve a fresh, never-used block. One CAS on the packed {slab, index}
   /// cursor in steady state; losers of a slab-growth race free their
   /// candidate and retry on the winner's slab.

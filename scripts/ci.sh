@@ -51,6 +51,15 @@ R2D_DEQUE_COLS=locked \
 echo "=== smoke: service_dispatch ==="
 R2D_DURATION_MS=50 R2D_OFFERED_LOAD=20000 R2D_MAX_THREADS=2 \
   R2D_SHED_CAP=256 "$BUILD_DIR/service_dispatch"
+# Slot-lease churn smoke (DESIGN.md §13): spawn-per-request dispatch so
+# thousands of short-lived threads lease and release reclaimer/allocator
+# slots on one long-lived container. Under ASan this checks the orphan
+# handoff frees cleanly; under TSan it races exit walks against claims
+# and steals. The bench exits nonzero if the slot HWM exceeds the
+# dispatcher count + O(1).
+echo "=== smoke: service_dispatch (churn arm only) ==="
+R2D_CHURN_ONLY=1 R2D_DURATION_MS=40 R2D_OFFERED_LOAD=30000 \
+  R2D_MAX_THREADS=2 R2D_SHED_CAP=256 "$BUILD_DIR/service_dispatch"
 if [ -x "$BUILD_DIR/micro_ops" ]; then
   # Runs under whatever sanitizer this config selected — the assertion
   # that the packed head-word fast paths are clean under ASan/TSan too.
@@ -124,6 +133,10 @@ if [ -z "$SANITIZER" ]; then
   grep -q '"structure": "2D-bag"' BENCH_service.json
   grep -q '"structure": "2D-stack"' BENCH_service.json
   grep -q '"structure": "2D-queue"' BENCH_service.json
+  # The churn arm's row must be recorded too: spawn mode with its slot
+  # high-water mark and ephemeral thread count (EXPERIMENTS.md E15).
+  grep -q '"mode": "spawn"' BENCH_service.json
+  grep -q '"slot_hwm"' BENCH_service.json
 fi
 
 echo "ci.sh: all green"

@@ -1,16 +1,25 @@
 // Regression test for graceful slot exhaustion: when an instance's
-// per-thread slot registry (R2D_MAX_SLOTS) fills, the claiming operation
-// must throw reclaim::SlotsExhausted whose message names the knob — not
-// abort the process, which is what it used to do.
+// per-thread slot registry (R2D_MAX_SLOTS) fills with *live* claimants,
+// the claiming operation must throw reclaim::SlotsExhausted whose message
+// names the knobs — not abort the process, which is what it used to do.
 //
-// The cap is read once per process, so this test pins it to 2 via setenv
-// before constructing anything, then drives a third thread into each
-// registry flavour (epoch, hazard, pool allocator).
+// Slots are leases (DESIGN.md §13): an exited thread's slot is released by
+// its exit hook, and a dead-without-hook thread's slot is stealable unless
+// R2D_SLOT_STEAL=0. So exhaustion is only reachable while the claimants
+// are actually alive (phase 1), or abandoned with stealing disabled
+// (phase 2); once they exit, a fresh thread claims again (phase 3).
+//
+// The caps are read once per process, so this test pins R2D_MAX_SLOTS=2
+// and R2D_SLOT_STEAL=0 via setenv before constructing anything.
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
@@ -20,56 +29,139 @@
 
 namespace {
 
-/// Run `claim` on `n` fresh threads sequentially; returns how many threw
-/// SlotsExhausted with a message naming the R2D_MAX_SLOTS knob.
-template <typename Claim>
-unsigned exhaust(unsigned n, Claim claim) {
-  std::atomic<unsigned> diagnostic_throws{0};
-  for (unsigned t = 0; t < n; ++t) {
-    std::thread([&] {
-      try {
+/// Two holder threads that claim a slot (via `claim`), signal readiness,
+/// and park until released — so their slots stay leased while the main
+/// thread probes for exhaustion.
+class Holders {
+ public:
+  explicit Holders(const std::function<void()>& claim) {
+    for (int t = 0; t < 2; ++t) {
+      threads_.emplace_back([this, claim] {
         claim();
-      } catch (const r2d::reclaim::SlotsExhausted& e) {
-        const std::string what = e.what();
-        if (what.find("R2D_MAX_SLOTS") != std::string::npos) {
-          diagnostic_throws.fetch_add(1, std::memory_order_relaxed);
+        step(ready_, 1);
+        wait(go_, 1);
+        claim();  // still live: the lease must still be ours
+        step(done_, 1);
+        wait(go_, 2);
+        if (abandon_) {
+          r2d::reclaim::detail::ChurnRegistry::get().abandon_current_thread();
         }
-      }
-    }).join();
+        step(parked_, 1);
+        wait(go_, 3);
+      });
+    }
+    wait(ready_, 2);
   }
-  return diagnostic_throws.load();
+
+  /// Re-claim on both holders (proves lease stability), optionally
+  /// abandoning their liveness afterwards, then park them again.
+  void reclaim_and_park(bool abandon) {
+    abandon_ = abandon;
+    step(go_, 1);  // go_ = 1: re-claim
+    wait(done_, 2);
+    step(go_, 1);  // go_ = 2: abandon + park
+    wait(parked_, 2);
+  }
+
+  void release() {
+    step(go_, 1);  // go_ = 3: exit
+    for (auto& t : threads_) t.join();
+  }
+
+ private:
+  void wait(int& var, int target) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return var >= target; });
+  }
+  void step(int& var, int inc) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      var += inc;
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int ready_ = 0, go_ = 0, done_ = 0, parked_ = 0;
+  bool abandon_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Run `claim` on a fresh thread; returns the SlotsExhausted message, or
+/// empty when the claim succeeded.
+std::string probe(const std::function<void()>& claim) {
+  std::string message;
+  std::thread([&] {
+    try {
+      claim();
+    } catch (const r2d::reclaim::SlotsExhausted& e) {
+      message = e.what();
+    }
+  }).join();
+  return message;
+}
+
+void expect_mentions(const std::string& what, const char* needle) {
+  if (what.find(needle) == std::string::npos) {
+    std::fprintf(stderr, "FAIL: message lacks \"%s\": %s\n", needle,
+                 what.c_str());
+    ++r2d::test::failures();
+  }
+}
+
+/// Drive one registry flavour through live exhaustion, abandoned (but
+/// unstealable) exhaustion, and post-exit recovery.
+void exercise(const std::function<void()>& claim) {
+  Holders holders(claim);
+
+  // Phase 1: both slots held by live, parked threads — a third must get
+  // the diagnostic naming both knobs and the live count.
+  std::string what = probe(claim);
+  CHECK(!what.empty());
+  expect_mentions(what, "R2D_MAX_SLOTS");
+  expect_mentions(what, "R2D_SLOT_STEAL");
+  expect_mentions(what, "2 by live threads");
+
+  // Phase 2: holders re-claim (lease stability) then abandon their
+  // liveness. With stealing disabled their slots stay parked, so the
+  // probe still throws — but now reports them stealable.
+  holders.reclaim_and_park(/*abandon=*/true);
+  what = probe(claim);
+  CHECK(!what.empty());
+  expect_mentions(what, "2 stealable");
+
+  // Phase 3: holders exit; their exit hooks release the leases, so a
+  // fresh thread claims without throwing.
+  holders.release();
+  CHECK_EQ(probe(claim), std::string());
 }
 
 }  // namespace
 
 int main() {
-  // Must precede the first detail::max_slots() call anywhere in the
-  // process (the knob is cached once).
+  // Must precede the first detail::max_slots() / slot_steal_enabled()
+  // call anywhere in the process (both knobs are cached once).
   setenv("R2D_MAX_SLOTS", "2", 1);
+  setenv("R2D_SLOT_STEAL", "0", 1);
   CHECK_EQ(r2d::reclaim::detail::max_slots(), 2u);
 
   {
-    // Epoch: slots are claimed by pin(); threads 1–2 fit, 3–4 must throw
-    // the diagnostic (slots stay bound to exited threads — the churn
-    // limitation the exception text documents).
     r2d::reclaim::EpochReclaimer reclaimer;
-    CHECK_EQ(exhaust(4, [&] { auto guard = reclaimer.pin(); }), 2u);
+    exercise([&] { auto guard = reclaimer.pin(); });
   }
   {
-    // Hazard: same protocol, same registry machinery.
     r2d::reclaim::HazardReclaimer reclaimer;
-    CHECK_EQ(exhaust(4, [&] { auto guard = reclaimer.pin(); }), 2u);
+    exercise([&] { auto guard = reclaimer.pin(); });
   }
   {
     // PoolAlloc: the magazine layer claims a slot on first acquire. The
-    // two successful threads hand their block straight back.
+    // successful claimants hand their block straight back.
     r2d::reclaim::PoolAlloc<std::uint64_t> alloc;
-    CHECK_EQ(exhaust(4,
-                     [&] {
-                       std::uint64_t* p = alloc.acquire(7ull);
-                       alloc.release(p);
-                     }),
-             2u);
+    exercise([&] {
+      std::uint64_t* p = alloc.acquire(7ull);
+      alloc.release(p);
+    });
   }
   return TEST_MAIN_RESULT();
 }
