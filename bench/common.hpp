@@ -6,11 +6,14 @@
 // measured loops contain no virtual calls or type erasure.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "core/two_d_stack.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
+#include "obs/metrics.hpp"
 #include "stacks/distributed_stack.hpp"
 #include "stacks/elimination_stack.hpp"
 #include "stacks/ksegment_stack.hpp"
@@ -226,30 +230,94 @@ struct JsonPoint {
   std::string structure;
   unsigned threads = 1;
   double mops = 0.0;
+  /// Pre-rendered obs snapshot-delta JSON object for this point
+  /// (obs::append_json); empty when no metrics were captured.
+  std::string metrics;
 };
 
+/// Compile-time build shape, for run-to-run comparability: optimization
+/// level is what CMake chose, but the A/B-relevant axes (asserts,
+/// sanitizer, obs) are all visible as macros.
+inline std::string build_flags() {
+  std::string flags;
+#ifdef NDEBUG
+  flags += "release";
+#else
+  flags += "assert";
+#endif
+#if R2D_OBS
+  flags += ",obs";
+#else
+  flags += ",noobs";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  flags += ",asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  flags += ",asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  flags += ",tsan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  flags += ",tsan";
+#endif
+#endif
+  return flags;
+}
+
+inline std::string host_name() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+/// The shared provenance header every BENCH_*.json carries — one writer so
+/// the throughput benches and the service bench cannot drift apart. Emits
+/// the leading fields of a JSON object (caller opened the brace):
+/// bench, git sha (R2D_GIT_SHA, set by scripts/ci.sh), hostname, host
+/// core count, compile-time build shape, and the active epoch fence mode.
+inline void write_provenance(std::ostream& out, const std::string& bench) {
+  out << "  \"bench\": \"" << bench << "\",\n"
+      << "  \"git_sha\": \"" << util::env_str("R2D_GIT_SHA", "unknown")
+      << "\",\n"
+      << "  \"hostname\": \"" << host_name() << "\",\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"build_flags\": \"" << build_flags() << "\",\n"
+      << "  \"membarrier\": "
+      << (reclaim::detail::use_membarrier() ? "true" : "false") << ",\n";
+}
+
+/// Render an obs snapshot (usually a delta over one measured run) as the
+/// JSON object bench rows embed under "metrics".
+inline std::string metrics_json(const obs::Snapshot& s) {
+  std::ostringstream os;
+  obs::append_json(os, s);
+  return os.str();
+}
+
 /// Write the bench points as JSON to `path`, with enough provenance to
-/// compare runs across commits and hosts: git sha (R2D_GIT_SHA, set by
-/// scripts/ci.sh), host core count, and the active epoch fence mode.
-/// Schema:
-///   {"bench": ..., "git_sha": ..., "host_cores": N, "membarrier": bool,
-///    "points": [{"structure": ..., "threads": N, "mops": X}, ...]}
+/// compare runs across commits and hosts (write_provenance). Schema:
+///   {"bench": ..., "git_sha": ..., "hostname": ..., "host_cores": N,
+///    "build_flags": ..., "membarrier": bool,
+///    "points": [{"structure": ..., "threads": N, "mops": X,
+///                "metrics": {...}}, ...]}
 inline bool write_bench_json(const std::string& path, const std::string& bench,
                              const std::vector<JsonPoint>& points) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n"
-      << "  \"bench\": \"" << bench << "\",\n"
-      << "  \"git_sha\": \"" << util::env_str("R2D_GIT_SHA", "unknown")
-      << "\",\n"
-      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
-      << "  \"membarrier\": "
-      << (reclaim::detail::use_membarrier() ? "true" : "false") << ",\n"
-      << "  \"points\": [";
+  out << "{\n";
+  write_provenance(out, bench);
+  out << "  \"points\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n") << "    {\"structure\": \""
         << points[i].structure << "\", \"threads\": " << points[i].threads
-        << ", \"mops\": " << points[i].mops << "}";
+        << ", \"mops\": " << points[i].mops;
+    if (!points[i].metrics.empty()) {
+      out << ", \"metrics\": " << points[i].metrics;
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
   return static_cast<bool>(out);

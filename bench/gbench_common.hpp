@@ -14,16 +14,23 @@ namespace r2d::bench {
 
 /// Console output as usual, plus a capture of every per-iteration run's
 /// items/s for the BENCH_*.json trajectory (see emit_json / scripts/ci.sh).
+/// Each report batch also carries the obs counter delta accumulated since
+/// the previous batch, so every JSON point lands with the engine metrics
+/// of (approximately) its own run — the process-wide counters cannot be
+/// split finer than a reporting batch.
 class CapturingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
+    const obs::Snapshot now = obs::metrics().snapshot();
+    const std::string metrics = metrics_json(now - last_);
+    last_ = now;
     for (const Run& run : runs) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       const auto it = run.counters.find("items_per_second");
       if (it == run.counters.end()) continue;
       points_.push_back({run.benchmark_name(),
                          static_cast<unsigned>(run.threads),
-                         it->second / 1e6});
+                         it->second / 1e6, metrics});
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -32,6 +39,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
  private:
   std::vector<JsonPoint> points_;
+  obs::Snapshot last_;
 };
 
 /// The shared main(): run the registered benchmarks through the capturing

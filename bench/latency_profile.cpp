@@ -28,7 +28,8 @@ void profile(const char* name, Make&& make, unsigned threads,
                  r2d::util::Table::num(r.p99(), 0),
                  r2d::util::Table::num(r.p999(), 0),
                  r2d::util::Table::num(static_cast<double>(r.histogram.max()),
-                                       0)});
+                                       0),
+                 std::to_string(r.saturated())});
 }
 
 }  // namespace
@@ -36,8 +37,8 @@ void profile(const char* name, Make&& make, unsigned threads,
 int main() {
   r2d::util::install_crash_tracer();
   const BenchEnv env = BenchEnv::load();
-  r2d::util::Table table(
-      {"algorithm", "threads", "p50_ns", "p99_ns", "p99.9_ns", "max_ns"});
+  r2d::util::Table table({"algorithm", "threads", "p50_ns", "p99_ns",
+                          "p99.9_ns", "max_ns", "saturated"});
   std::cout << "=== E9: per-op latency percentiles ===\n";
   for (unsigned threads : {1u, 8u, 16u}) {
     if (threads > env.max_threads) continue;

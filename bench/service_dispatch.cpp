@@ -56,7 +56,20 @@ struct ServiceRow {
   double offered = 0.0;
   std::string mode = "reuse";  ///< worker mode: "reuse" | "spawn"
   service::ServiceResult result;
+  std::string metrics;  ///< obs snapshot delta for this run (JSON object)
 };
+
+/// Run one sweep point with the obs counters scoped to it: the process
+/// counters are global, so the delta around the run is this row's share.
+template <typename Fn>
+ServiceRow measured_row(const std::string& structure,
+                        const std::string& arrival, double offered,
+                        const std::string& mode, Fn&& run) {
+  const r2d::obs::Snapshot before = r2d::obs::metrics().snapshot();
+  ServiceRow row{structure, arrival, offered, mode, run()};
+  row.metrics = metrics_json(r2d::obs::metrics().snapshot() - before);
+  return row;
+}
 
 template <typename Queue>
 service::ServiceResult run_one(const r2d::core::TwoDParams& params,
@@ -88,14 +101,9 @@ void emit_service_json(const std::vector<ServiceRow>& rows) {
     std::cerr << "could not write " << path << "\n";
     return;
   }
-  out << "{\n"
-      << "  \"bench\": \"service_dispatch\",\n"
-      << "  \"git_sha\": \"" << r2d::util::env_str("R2D_GIT_SHA", "unknown")
-      << "\",\n"
-      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
-      << "  \"membarrier\": "
-      << (r2d::reclaim::detail::use_membarrier() ? "true" : "false") << ",\n"
-      << "  \"points\": [";
+  out << "{\n";
+  write_provenance(out, "service_dispatch");
+  out << "  \"points\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ServiceRow& r = rows[i];
     out << (i == 0 ? "\n" : ",\n") << "    {\"structure\": \"" << r.structure
@@ -109,10 +117,12 @@ void emit_service_json(const std::vector<ServiceRow>& rows) {
         << ", \"slo_violation_rate\": " << r.result.slo_violation_rate()
         << ", \"mean_displacement\": " << r.result.mean_displacement()
         << ", \"max_displacement\": " << r.result.displacement_max
+        << ", \"saturated\": " << r.result.response.saturated()
         << ", \"mode\": \"" << r.mode
         << "\", \"threads_spawned\": " << r.result.threads_spawned
         << ", \"slot_hwm\": " << r.result.slot_hwm
         << ", \"conserved\": " << (r.result.conserved() ? "true" : "false")
+        << ", \"metrics\": " << (r.metrics.empty() ? "{}" : r.metrics)
         << "}";
   }
   out << "\n  ]\n}\n";
@@ -185,10 +195,10 @@ int main() {
           service::ServiceConfig config = base;
           config.arrival.kind = kind;
           config.arrival.rate = base.arrival.rate * load_factor;
-          record(ServiceRow{structure, service::to_string(kind),
-                            config.arrival.rate,
-                            config.spawn_per_request ? "spawn" : "reuse",
-                            run_core(structure, params, config)});
+          record(measured_row(
+              structure, service::to_string(kind), config.arrival.rate,
+              config.spawn_per_request ? "spawn" : "reuse",
+              [&] { return run_core(structure, params, config); }));
         }
       }
     }
@@ -208,8 +218,9 @@ int main() {
     r2d::TwoDBag<service::Task, r2d::reclaim::EpochReclaimer,
                  r2d::reclaim::PoolAlloc>
         queue(params);
-    ServiceRow row{"2D-bag", "poisson", config.arrival.rate, "spawn",
-                   service::run_service(queue, config)};
+    ServiceRow row =
+        measured_row("2D-bag", "poisson", config.arrival.rate, "spawn",
+                     [&] { return service::run_service(queue, config); });
     record(row);
     const service::ServiceResult& r = row.result;
     std::cout << "churn arm: " << r.threads_spawned

@@ -52,6 +52,7 @@
 #include "core/dwcas.hpp"
 #include "core/substack.hpp"  // kPackedPtrMask
 #include "core/window.hpp"
+#include "obs/metrics.hpp"
 
 namespace r2d::core {
 
@@ -97,7 +98,10 @@ class alignas(64) DwcasDequeColumn {
       node->next.store(nullptr, std::memory_order_relaxed);
       const WordPair desired{pack_front(node, kStable, front_tag(a) + 1),
                              pack_back(node, back_tag(a) + 1)};
-      if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+      if (!dwcas(head_, a.words, desired)) {
+        obs::count<obs::Counter::kDwcasRetries>();
+        return Probe::kContended;
+      }
       flows.fetch_add(flow_step<kFront>(), std::memory_order_release);
       return Probe::kSuccess;
     }
@@ -119,7 +123,10 @@ class alignas(64) DwcasDequeColumn {
       desired = WordPair{pack_front(a.front, kPushBack, front_tag(a) + 1),
                          pack_back(node, back_tag(a) + 1)};
     }
-    if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+    if (!dwcas(head_, a.words, desired)) {
+      obs::count<obs::Counter::kDwcasRetries>();
+      return Probe::kContended;
+    }
     flows.fetch_add(flow_step<kFront>(), std::memory_order_release);
     // Bridge immediately, while the line is hot: the pusher already knows
     // the end it displaced (still shielded in slots 0/1 from
@@ -173,7 +180,10 @@ class alignas(64) DwcasDequeColumn {
                    pack_back(node->prev.load(std::memory_order_acquire),
                              back_tag(a) + 1)};
     }
-    if (!dwcas(head_, a.words, desired)) return Probe::kContended;
+    if (!dwcas(head_, a.words, desired)) {
+      obs::count<obs::Counter::kDwcasRetries>();
+      return Probe::kContended;
+    }
     flows.fetch_sub(flow_step<kFront>(), std::memory_order_release);
     out = std::move(node->value);
     guard.retire(node, alloc);
@@ -270,6 +280,7 @@ class alignas(64) DwcasDequeColumn {
   /// revalidation passes.
   template <typename Guard>
   bool ensure_bridged(const Anchor& a, Guard& guard) {
+    obs::count<obs::Counter::kHelpBridges>();
     if (a.status == kPushFront) return ensure_bridged_end<true>(a, guard);
     return ensure_bridged_end<false>(a, guard);
   }

@@ -93,6 +93,7 @@ class TwoDBag {
               word, core::pack_head(node, core::packed_count_after_push(word)),
               std::memory_order_release, std::memory_order_relaxed))
           [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
         return;
       }
       put_slow(node, max, index, core::Probe::kContended);
@@ -110,7 +111,10 @@ class TwoDBag {
     const std::uint64_t word =
         columns_[index].head.load(std::memory_order_acquire);
     if (word != 0 && core::head_count(word) > low) [[likely]] {
-      if (auto value = try_take_at(index, low)) [[likely]] return value;
+      if (auto value = try_take_at(index, low)) [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
+        return value;
+      }
       return take_slow(max, index, core::Probe::kContended);
     }
     return take_slow(max, index, core::Probe::kIneligible);
@@ -216,7 +220,8 @@ class TwoDBag {
         /*certified=*/
         [&](std::uint64_t m) {
           return core::Certified::shift_to(m + params_.shift);
-        });
+        },
+        obs::ShiftCause::kBagPut);
   }
 
   __attribute__((noinline, cold)) std::optional<T> take_slow(
@@ -245,7 +250,8 @@ class TwoDBag {
                  m - params_.depth;
         },
         /*certified=*/
-        [&](std::uint64_t m) { return certify_take(m); });
+        [&](std::uint64_t m) { return certify_take(m); },
+        obs::ShiftCause::kBagTake);
     return out;
   }
 

@@ -63,6 +63,7 @@ class TwoDCounter {
     const std::size_t index = preferred_index();
     if (try_step_at(index, /*lo=*/0, max) == core::Probe::kSuccess)
         [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
       return;
     }
     step_slow</*kInc=*/true>(max, index);
@@ -73,6 +74,7 @@ class TwoDCounter {
     const std::size_t index = preferred_index();
     if (try_step_at(index, max - params_.depth, max - params_.depth) ==
         core::Probe::kSuccess) [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
       return;
     }
     step_slow</*kInc=*/false>(max, index);
@@ -153,7 +155,8 @@ class TwoDCounter {
           // lowers it. Neither stops: a counter's inc/dec are total.
           return core::Certified::shift_to(kInc ? m + params_.shift
                                                 : m - params_.shift);
-        });
+        },
+        kInc ? obs::ShiftCause::kCounterInc : obs::ShiftCause::kCounterDec);
   }
 
   /// Per-(thread, instance) preferred cell, keyed like the containers'.

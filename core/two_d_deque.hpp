@@ -152,6 +152,7 @@ class TwoDDeque {
         columns_[start].template try_push<kFront>(node, max, reclaimer_,
                                                   alloc_);
     if (first == core::Probe::kSuccess) [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
       preferred_index() = start;
       return;
     }
@@ -173,7 +174,9 @@ class TwoDDeque {
         /*certified=*/
         [&](std::uint64_t m) {
           return core::Certified::shift_to(m + params_.shift);
-        });
+        },
+        kFront ? obs::ShiftCause::kDequeFrontPush
+               : obs::ShiftCause::kDequeBackPush);
   }
 
   template <bool kFront>
@@ -185,6 +188,7 @@ class TwoDDeque {
     const core::Probe first = columns_[start].template try_pop<kFront>(
         out, max, params_.depth, reclaimer_, alloc_);
     if (first == core::Probe::kSuccess) [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
       preferred_index() = start;
       return out;
     }
@@ -205,7 +209,9 @@ class TwoDDeque {
                  core::end_flow<kFront>(word) > m - params_.depth;
         },
         /*certified=*/
-        [&](std::uint64_t m) { return certify_pop<kFront>(m); });
+        [&](std::uint64_t m) { return certify_pop<kFront>(m); },
+        kFront ? obs::ShiftCause::kDequeFrontPop
+               : obs::ShiftCause::kDequeBackPop);
     return out;
   }
 

@@ -105,7 +105,10 @@ class TwoDQueue {
     const std::size_t start = preferred_enq_index() % params_.width;
     // Fast path: one attempt on the thread's preferred column.
     const core::Probe first = try_enqueue_at(guard, node, start, max);
-    if (first == core::Probe::kSuccess) [[likely]] return;
+    if (first == core::Probe::kSuccess) [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
+      return;
+    }
     core::drive_window_sweep(
         params_, put_max_, start, max, first,
         /*attempt=*/
@@ -120,7 +123,8 @@ class TwoDQueue {
           return columns_[i].enq_serial.load(std::memory_order_acquire) < m;
         },
         /*certified=*/
-        [&](std::uint64_t m) { return certify_enqueue(m); });
+        [&](std::uint64_t m) { return certify_enqueue(m); },
+        obs::ShiftCause::kQueuePut);
   }
 
   std::optional<T> dequeue() {
@@ -129,7 +133,10 @@ class TwoDQueue {
     const std::size_t start = preferred_deq_index() % params_.width;
     std::optional<T> out;
     const core::Probe first = try_dequeue_at(guard, out, start, max);
-    if (first == core::Probe::kSuccess) [[likely]] return out;
+    if (first == core::Probe::kSuccess) [[likely]] {
+      obs::count<obs::Counter::kFastHits>();
+      return out;
+    }
     core::drive_window_sweep(
         params_, get_max_, start, max, first,
         /*attempt=*/
@@ -143,7 +150,8 @@ class TwoDQueue {
                  head->index < m;
         },
         /*certified=*/
-        [&](std::uint64_t m) { return certify_dequeue(guard, m); });
+        [&](std::uint64_t m) { return certify_dequeue(guard, m); },
+        obs::ShiftCause::kQueueGet);
     return out;
   }
 

@@ -84,6 +84,7 @@ class TwoDStack {
               word, core::pack_head(node, core::packed_count_after_push(word)),
               std::memory_order_release, std::memory_order_relaxed))
           [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
         return;
       }
       push_slow(node, max, index, core::Probe::kContended);
@@ -101,7 +102,10 @@ class TwoDStack {
     const std::uint64_t word =
         columns_[index].head.load(std::memory_order_acquire);
     if (word != 0 && core::head_count(word) > low) [[likely]] {
-      if (auto value = try_pop_at(index, low)) [[likely]] return value;
+      if (auto value = try_pop_at(index, low)) [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
+        return value;
+      }
       return pop_slow(max, index, core::Probe::kContended);
     }
     return pop_slow(max, index, core::Probe::kIneligible);
@@ -202,7 +206,8 @@ class TwoDStack {
                      columns_[i].head.load(std::memory_order_acquire)) < m;
         },
         /*certified=*/
-        [&](std::uint64_t m) { return core::Certified::shift_to(m + params_.shift); });
+        [&](std::uint64_t m) { return core::Certified::shift_to(m + params_.shift); },
+        obs::ShiftCause::kStackPush);
   }
 
   __attribute__((noinline, cold)) std::optional<T> pop_slow(
@@ -242,7 +247,8 @@ class TwoDStack {
           }
           return core::Certified::shift_to(
               std::max(params_.depth, m - params_.shift));
-        });
+        },
+        obs::ShiftCause::kStackPop);
     return out;
   }
 

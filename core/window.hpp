@@ -31,6 +31,7 @@
 
 #include "core/params.hpp"
 #include "core/substack.hpp"  // hop_rand
+#include "obs/metrics.hpp"
 
 namespace r2d::core {
 
@@ -98,10 +99,12 @@ class SweepState {
 
   void on_ineligible() {
     if (round_robin_) {
+      obs::count<obs::Counter::kHopsStreak>();
       ++streak_;
       index_ = (index_ + 1) % p_.width;
       return;
     }
+    obs::count<obs::Counter::kHopsRandom>();
     ++random_probes_;
     index_ = static_cast<std::size_t>(hop_rand()) % p_.width;
     if (p_.hop_mode == HopMode::kHybrid && random_probes_ >= p_.width) {
@@ -113,6 +116,7 @@ class SweepState {
   void on_contended() {
     // Contention: hop away (randomly, unless round-robin-only) and start
     // the certification over — the observed column was eligible.
+    obs::count<obs::Counter::kHopsContended>();
     streak_ = 0;
     random_probes_ = 0;
     if (p_.hop_mode == HopMode::kRoundRobinOnly) {
@@ -168,11 +172,19 @@ class SweepState {
 /// stopped the sweep. The engine re-reads `window` before every probe so a
 /// concurrent shift resets the sweep (certification is only valid under an
 /// unchanged window value).
+///
+/// `cause` tags this operation's window shifts in the obs trace ring
+/// (obs::ShiftCause::kUnknown when the caller doesn't care); everything
+/// else about the instrumentation is the engine's own (DESIGN.md §14):
+/// probes, hops by reason, verify scans/redirects, certification
+/// consults/failures, and shift attempts split into wins and losses.
 template <typename Attempt, typename Eligible, typename CertifiedFn>
 bool drive_window_sweep(const TwoDParams& p,
                         std::atomic<std::uint64_t>& window, std::size_t start,
                         std::uint64_t max, Probe seed, Attempt&& attempt,
-                        Eligible&& eligible, CertifiedFn&& certified) {
+                        Eligible&& eligible, CertifiedFn&& certified,
+                        obs::ShiftCause cause = obs::ShiftCause::kUnknown) {
+  obs::count<obs::Counter::kSweeps>();
   SweepState sweep(p, start);
   if (seed == Probe::kContended) {
     sweep.on_contended();
@@ -187,8 +199,10 @@ bool drive_window_sweep(const TwoDParams& p,
         sweep.reset();
       }
     }
+    obs::count<obs::Counter::kProbes>();
     switch (attempt(sweep.index(), max)) {
       case Probe::kSuccess:
+        obs::count<obs::Counter::kSweepSuccess>();
         return true;
       case Probe::kContended:
         sweep.on_contended();
@@ -202,6 +216,7 @@ bool drive_window_sweep(const TwoDParams& p,
       // Random probes can revisit columns, so the sweep alone proves
       // nothing: verify with a read-only scan before consulting the
       // container, and resume at any eligible column it finds.
+      obs::count<obs::Counter::kVerifyScans>();
       bool redirected = false;
       for (std::size_t i = 0; i < p.width; ++i) {
         if (eligible(i, max)) {
@@ -210,20 +225,33 @@ bool drive_window_sweep(const TwoDParams& p,
           break;
         }
       }
-      if (redirected) continue;
+      if (redirected) {
+        obs::count<obs::Counter::kVerifyRedirects>();
+        continue;
+      }
     }
+    obs::count<obs::Counter::kCertAttempts>();
     const Certified c = certified(max);
     switch (c.kind) {
       case Certified::Kind::kStop:
+        obs::count<obs::Counter::kSweepStop>();
         return false;
       case Certified::Kind::kRestart:
+        obs::count<obs::Counter::kCertFails>();
         sweep.restart_at(c.index);
         continue;
       case Certified::Kind::kShift: {
         std::uint64_t expected = max;
-        window.compare_exchange_strong(expected, c.target,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed);
+        obs::count<obs::Counter::kShiftAttempts>();
+        const bool won = window.compare_exchange_strong(
+            expected, c.target, std::memory_order_acq_rel,
+            std::memory_order_relaxed);
+        if (won) {
+          obs::count<obs::Counter::kShiftWins>();
+        } else {
+          obs::count<obs::Counter::kShiftLosses>();
+        }
+        obs::record_shift(max, c.target, won, cause);
         max = window.load(std::memory_order_acquire);
         sweep.reset();
         continue;

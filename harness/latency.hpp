@@ -19,23 +19,38 @@ namespace r2d::harness {
 
 class Histogram {
   static constexpr unsigned kSubBits = 4;  // 16 sub-buckets per decade
-  static constexpr std::size_t kBuckets = 1024;
+  // Decades beyond 2^36 ns (~69 s) clamp into the top bucket and are
+  // tallied as `saturated` — any sample that long is overload, not a
+  // latency to resolve, and honesty about the clamp beats a wider table.
+  static constexpr std::size_t kBuckets = 528;
 
  public:
+  /// First ns value past the last un-clamped bucket: 2^36 for the table
+  /// above (kBuckets must stay a multiple of 1 << kSubBits).
+  static constexpr std::uint64_t kSaturateNs =
+      std::uint64_t{1} << ((kBuckets >> kSubBits) + kSubBits - 1);
+
   void add(std::uint64_t ns) {
     ++counts_[bucket_of(ns)];
     ++total_;
+    if (ns >= kSaturateNs) ++saturated_;
     if (ns > max_) max_ = ns;
   }
 
   void merge(const Histogram& other) {
     for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
     total_ += other.total_;
+    saturated_ += other.saturated_;
     if (other.max_ > max_) max_ = other.max_;
   }
 
   std::uint64_t count() const { return total_; }
   std::uint64_t max() const { return max_; }
+
+  /// Samples that clamped into the top bucket (beyond its own decade's
+  /// width): quantiles at or above their mass report the bucket floor,
+  /// not a real latency.
+  std::uint64_t saturated() const { return saturated_; }
 
   /// Lower bound of the bucket containing the q-quantile (q in [0, 1]).
   double quantile(double q) const {
@@ -70,6 +85,7 @@ class Histogram {
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t total_ = 0;
   std::uint64_t max_ = 0;
+  std::uint64_t saturated_ = 0;
 };
 
 struct LatencyResult {
@@ -77,6 +93,7 @@ struct LatencyResult {
   double p50() const { return histogram.quantile(0.50); }
   double p99() const { return histogram.quantile(0.99); }
   double p999() const { return histogram.quantile(0.999); }
+  std::uint64_t saturated() const { return histogram.saturated(); }
 };
 
 namespace detail {

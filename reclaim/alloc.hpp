@@ -27,6 +27,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "reclaim/pool.hpp"
 #include "reclaim/slot_registry.hpp"
 #include "util/env.hpp"
@@ -117,6 +118,7 @@ class PoolAlloc : private detail::Lessor {
     for (std::size_t i = 0; i < n; ++i) {
       if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
       if (detail::acquire_for_cleanse(slots_[i], token)) {
+        obs::count<obs::Counter::kSlotExitReleases>();
         flush_slot(slots_[i]);
         slots_[i].owner.store(0, std::memory_order_release);
       }
@@ -187,6 +189,7 @@ class PoolAlloc : private detail::Lessor {
   /// Splice one full magazine onto this thread's depot shard: a single
   /// tagged CAS, independent of the batch size.
   void depot_push(Slot* s, void* mag_head) {
+    obs::count<obs::Counter::kMagFlushes>();
     DepotShard& d = depot_[depot_index(s)];
     std::uint64_t head = d.head.load(std::memory_order_relaxed);
     while (true) {
@@ -201,6 +204,7 @@ class PoolAlloc : private detail::Lessor {
                                        std::memory_order_relaxed)) {
         return;
       }
+      obs::count<obs::Counter::kDepotCasRetries>();
     }
   }
 
@@ -224,8 +228,10 @@ class PoolAlloc : private detail::Lessor {
         if (d.head.compare_exchange_weak(head, next,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
+          obs::count<obs::Counter::kMagRefills>();
           return mag;
         }
+        obs::count<obs::Counter::kDepotCasRetries>();
       }
     }
     return nullptr;
@@ -247,7 +253,10 @@ class PoolAlloc : private detail::Lessor {
             // always quiesced; its blocks flow back through flush_slot.
             return true;
           },
-          [this](Slot& slot) { flush_slot(slot); });
+          [this](Slot& slot) {
+            obs::count<obs::Counter::kSlotSteals>();
+            flush_slot(slot);
+          });
       cache.insert(id_, s);
     }
     return s;

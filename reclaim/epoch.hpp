@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "reclaim/membarrier.hpp"
 #include "reclaim/slot_registry.hpp"
 
@@ -174,6 +175,7 @@ class EpochReclaimer : private detail::Lessor {
   };
 
   Guard pin() {
+    obs::count<obs::Counter::kEpochPins>();
     Slot* s = local_slot();
     const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
     if (membarrier_) [[likely]] {
@@ -214,6 +216,7 @@ class EpochReclaimer : private detail::Lessor {
     for (std::size_t i = 0; i < n; ++i) {
       if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
       if (detail::acquire_for_cleanse(slots_[i], token)) {
+        obs::count<obs::Counter::kSlotExitReleases>();
         orphan_slot(slots_[i]);
         slots_[i].owner.store(0, std::memory_order_release);
       }
@@ -227,12 +230,15 @@ class EpochReclaimer : private detail::Lessor {
   void orphan_slot(Slot& s) {
     {
       std::lock_guard<std::mutex> lock(orphan_mu_);
+      std::uint64_t queued = 0;
       for (unsigned k = 0; k < 3; ++k) {
         for (const Retired& r : s.bucket[k]) {
           orphans_.push_back(Orphan{r, s.bucket_epoch[k]});
+          ++queued;
         }
         s.bucket[k].clear();
       }
+      if (queued != 0) obs::count<obs::Counter::kEpochOrphansQueued>(queued);
       orphan_count_.store(orphans_.size(), std::memory_order_release);
     }
     for (unsigned k = 0; k < 3; ++k) s.bucket_epoch[k] = 0;
@@ -262,6 +268,9 @@ class EpochReclaimer : private detail::Lessor {
       orphan_count_.store(keep, std::memory_order_release);
     }
     // Destroys outside the lock: a pooled node's release may claim a slot.
+    if (!ready.empty()) {
+      obs::count<obs::Counter::kEpochOrphansDrained>(ready.size());
+    }
     for (const Orphan& o : ready) o.retired.destroy(o.retired.node,
                                                     o.retired.ctx);
 #else
@@ -289,6 +298,7 @@ class EpochReclaimer : private detail::Lessor {
   }
 
   void try_advance() {
+    obs::count<obs::Counter::kEpochAdvanceTries>();
     // Make every thread's (announce; load) pair ordered with respect to
     // the scan below — the heavy half of pin()'s asymmetric fence.
     detail::asymmetric_heavy_fence(membarrier_);
@@ -301,6 +311,7 @@ class EpochReclaimer : private detail::Lessor {
     std::uint64_t expected = e;
     if (global_epoch_.compare_exchange_strong(expected, e + 1,
                                               std::memory_order_acq_rel)) {
+      obs::count<obs::Counter::kEpochAdvances>();
       drain_orphans(e + 1);
     } else {
       drain_orphans(expected);
@@ -320,7 +331,10 @@ class EpochReclaimer : private detail::Lessor {
           [](const Slot& slot) {
             return slot.epoch.load(std::memory_order_acquire) == kIdle;
           },
-          [this](Slot& slot) { orphan_slot(slot); });
+          [this](Slot& slot) {
+            obs::count<obs::Counter::kSlotSteals>();
+            orphan_slot(slot);
+          });
       cache.insert(id_, s);
     }
     return s;

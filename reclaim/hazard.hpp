@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "reclaim/slot_registry.hpp"
 
 namespace r2d::reclaim {
@@ -154,7 +155,10 @@ class HazardReclaimer : private detail::Lessor {
     Slot* s_;
   };
 
-  Guard pin() { return Guard(this, local_slot()); }
+  Guard pin() {
+    obs::count<obs::Counter::kHazardPins>();
+    return Guard(this, local_slot());
+  }
 
  private:
   /// Release the slot `token` holds on this instance (thread-exit walk or
@@ -164,6 +168,7 @@ class HazardReclaimer : private detail::Lessor {
     for (std::size_t i = 0; i < n; ++i) {
       if (slots_[i].owner.load(std::memory_order_relaxed) != token) continue;
       if (detail::acquire_for_cleanse(slots_[i], token)) {
+        obs::count<obs::Counter::kSlotExitReleases>();
         cleanse_slot(slots_[i]);
         slots_[i].owner.store(0, std::memory_order_release);
       }
@@ -190,10 +195,14 @@ class HazardReclaimer : private detail::Lessor {
   }
 
   void scan(Slot* s) {
+    obs::count<obs::Counter::kHazardScans>();
     // Adopt orphaned retirees first: they get the same hazard re-check as
     // our own, so a node a live thread still protects survives the scan.
     if (orphan_count_.load(std::memory_order_acquire) != 0) {
       std::lock_guard<std::mutex> lock(orphan_mu_);
+      if (!orphans_.empty()) {
+        obs::count<obs::Counter::kHazardOrphansAdopted>(orphans_.size());
+      }
       s->retired.insert(s->retired.end(), orphans_.begin(), orphans_.end());
       orphans_.clear();
       orphan_count_.store(0, std::memory_order_release);
@@ -235,7 +244,10 @@ class HazardReclaimer : private detail::Lessor {
             }
             return true;
           },
-          [this](Slot& slot) { cleanse_slot(slot); });
+          [this](Slot& slot) {
+            obs::count<obs::Counter::kSlotSteals>();
+            cleanse_slot(slot);
+          });
       cache.insert(id_, s);
     }
     return s;

@@ -49,29 +49,49 @@
 
 namespace r2d::reclaim {
 
+namespace detail {
+/// Installed by obs::Metrics<true>::get() (obs/metrics.hpp): returns a
+/// metrics-snapshot suffix appended to SlotsExhausted's message (steal /
+/// exit-release / orphan-queue counts) so post-mortems carry state. A raw
+/// function pointer because obs/ includes this header, not vice versa.
+inline std::string (*slots_exhausted_annotator)() = nullptr;
+
+inline std::string slots_exhausted_message(std::size_t max_slots,
+                                           std::size_t live,
+                                           std::size_t leaked,
+                                           std::size_t stealable) {
+  std::string message =
+      "r2d::reclaim: all " + std::to_string(max_slots) +
+      " per-thread slots of this instance are claimed: " +
+      std::to_string(live) + " by live threads, " + std::to_string(stealable) +
+      " stealable (exited threads; enable R2D_SLOT_STEAL=1 to reclaim "
+      "them), " +
+      std::to_string(leaked) +
+      " leaked (threads that died mid-operation or without their exit "
+      "hook). Slots are leases released at thread exit, so only live "
+      "threads should count against the cap; raise R2D_MAX_SLOTS if "
+      "the live demand is real.";
+  if (slots_exhausted_annotator != nullptr) {
+    message += slots_exhausted_annotator();
+  }
+  return message;
+}
+}  // namespace detail
+
 /// Thrown when a reclaimer/allocator instance has no per-thread slot left
 /// for the calling thread. Since slots are leases (released at thread
 /// exit, stolen from dead threads when R2D_SLOT_STEAL is on), this means
 /// the *live* demand exceeded the cap — or stealing is disabled and dead
 /// threads' slots are parked. The message reports the split so the remedy
 /// (raise R2D_MAX_SLOTS, or enable R2D_SLOT_STEAL) is readable off the
-/// exception.
+/// exception — plus, when metrics are enabled, an obs snapshot suffix.
 class SlotsExhausted : public std::runtime_error {
  public:
   SlotsExhausted(std::size_t max_slots, std::size_t live, std::size_t leaked,
                  std::size_t stealable)
       : std::runtime_error(
-            "r2d::reclaim: all " + std::to_string(max_slots) +
-            " per-thread slots of this instance are claimed: " +
-            std::to_string(live) + " by live threads, " +
-            std::to_string(stealable) +
-            " stealable (exited threads; enable R2D_SLOT_STEAL=1 to reclaim "
-            "them), " +
-            std::to_string(leaked) +
-            " leaked (threads that died mid-operation or without their exit "
-            "hook). Slots are leases released at thread exit, so only live "
-            "threads should count against the cap; raise R2D_MAX_SLOTS if "
-            "the live demand is real.") {}
+            detail::slots_exhausted_message(max_slots, live, leaked,
+                                            stealable)) {}
 };
 
 namespace detail {

@@ -22,6 +22,12 @@ namespace r2d::util {
 
 namespace detail {
 
+/// Installed by obs::Metrics<true>::get() (obs/metrics.hpp): dumps the
+/// metrics snapshot + shift-trace rings to `fd` on the way down. A raw
+/// function pointer so this header needs nothing from obs/ (which includes
+/// the reclaim headers and must stay above us in the include DAG).
+inline void (*metrics_crash_hook)(int fd) = nullptr;
+
 inline void crash_handler(int sig) {
   // Restore default disposition first so a fault inside the handler (or the
   // re-raise below) terminates instead of recursing.
@@ -34,6 +40,9 @@ inline void crash_handler(int sig) {
   (void)ignored;
   backtrace_symbols_fd(frames, n, STDERR_FILENO);
 #endif
+  // Post-mortem state, not just a stack: counters + the window-shift trace
+  // ring (when metrics are compiled in and enabled).
+  if (metrics_crash_hook != nullptr) metrics_crash_hook(STDERR_FILENO);
   std::raise(sig);
 }
 
