@@ -10,9 +10,11 @@
 // Sweep: scheduling core (2D-bag — the default, per the ROADMAP — then
 // 2D-stack and 2D-queue) x arrival process (poisson, onoff) x offered
 // load (0.5x and 1.0x of R2D_OFFERED_LOAD). Every row's conservation law
-// (generated == admitted + shed, admitted == completed) is checked and a
-// violation fails the bench — the accounting is the point, not a
-// best-effort statistic.
+// (generated == admitted + shed + timed_out, admitted == completed) is
+// checked and a violation fails the bench — the accounting is the point,
+// not a best-effort statistic. Rows also carry the PR 9 degradation
+// counters (retries, timed_out, degraded_entries, degraded), live when
+// the R2D_RETRY_MAX / R2D_DEADLINE_US / R2D_DEGRADE_FACTOR knobs engage.
 //
 // After the sweep, a CHURN arm (EXPERIMENTS.md E15) reruns the default
 // core in spawn-per-request mode — every dispatched request served by a
@@ -26,7 +28,9 @@
 // seed source for the processes via R2D_ARRIVAL_SEED; the *kinds* are
 // always swept here), R2D_SLO_US, R2D_SHED_CAP, R2D_SERVICE_NS,
 // R2D_DURATION_MS (schedule horizon), R2D_MAX_THREADS (worker cap),
-// R2D_CHURN_ONLY, R2D_BENCH_JSON (emit BENCH_service.json).
+// R2D_CHURN_ONLY, R2D_BENCH_JSON (emit BENCH_service.json), plus the
+// degradation knobs R2D_RETRY_MAX, R2D_BACKOFF_NS, R2D_DEADLINE_US,
+// R2D_DEGRADE_FACTOR, R2D_DEGRADE_WINDOW (harness/service/degrade.hpp).
 // Single-threaded caveat: on a 1-core host the generator and workers
 // time-share, so absolute latencies are inflated; relative container
 // ordering is what E14 reads.
@@ -121,6 +125,10 @@ void emit_service_json(const std::vector<ServiceRow>& rows) {
         << ", \"mode\": \"" << r.mode
         << "\", \"threads_spawned\": " << r.result.threads_spawned
         << ", \"slot_hwm\": " << r.result.slot_hwm
+        << ", \"retries\": " << r.result.retries
+        << ", \"timed_out\": " << r.result.timed_out
+        << ", \"degraded_entries\": " << r.result.degraded_entries
+        << ", \"degraded\": " << (r.result.degraded ? "true" : "false")
         << ", \"conserved\": " << (r.result.conserved() ? "true" : "false")
         << ", \"metrics\": " << (r.metrics.empty() ? "{}" : r.metrics)
         << "}";
@@ -168,8 +176,8 @@ int main() {
       std::cerr << "CONSERVATION VIOLATION: " << row.structure << "/"
                 << row.arrival << "@" << row.offered << ": generated="
                 << r.generated << " admitted=" << r.admitted
-                << " shed=" << r.shed << " completed=" << r.completed
-                << "\n";
+                << " shed=" << r.shed << " timed_out=" << r.timed_out
+                << " completed=" << r.completed << "\n";
     }
     table.add_row({row.structure, row.arrival, row.mode,
                    r2d::util::Table::num(row.offered, 0),

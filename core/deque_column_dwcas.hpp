@@ -52,6 +52,7 @@
 #include "core/dwcas.hpp"
 #include "core/substack.hpp"  // kPackedPtrMask
 #include "core/window.hpp"
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 
 namespace r2d::core {
@@ -98,7 +99,10 @@ class alignas(64) DwcasDequeColumn {
       node->next.store(nullptr, std::memory_order_relaxed);
       const WordPair desired{pack_front(node, kStable, front_tag(a) + 1),
                              pack_back(node, back_tag(a) + 1)};
-      if (!dwcas(head_, a.words, desired)) {
+      // Injected DWCAS loss (here and below): indistinguishable from a
+      // racing writer bumping the tags — reports contention, nothing
+      // mutated, and drives the helping/bridge machinery on retry.
+      if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
         obs::count<obs::Counter::kDwcasRetries>();
         return Probe::kContended;
       }
@@ -123,7 +127,7 @@ class alignas(64) DwcasDequeColumn {
       desired = WordPair{pack_front(a.front, kPushBack, front_tag(a) + 1),
                          pack_back(node, back_tag(a) + 1)};
     }
-    if (!dwcas(head_, a.words, desired)) {
+    if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
       obs::count<obs::Counter::kDwcasRetries>();
       return Probe::kContended;
     }
@@ -180,7 +184,7 @@ class alignas(64) DwcasDequeColumn {
                    pack_back(node->prev.load(std::memory_order_acquire),
                              back_tag(a) + 1)};
     }
-    if (!dwcas(head_, a.words, desired)) {
+    if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
       obs::count<obs::Counter::kDwcasRetries>();
       return Probe::kContended;
     }

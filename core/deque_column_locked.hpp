@@ -130,8 +130,15 @@ class alignas(64) LockedDequeColumn {
     out = std::move(node->value);
     // The lock already guarantees no concurrent reader holds `node`, but
     // the block still flows retire -> reclaimer -> alloc like every other
-    // container's (see header comment).
-    reclaimer.pin().retire(node, alloc);
+    // container's (see header comment). The pop has already linearized
+    // (value moved out), so a slot-claim failure in pin() must not lose
+    // the node: the lock's exclusivity makes a direct release sound here
+    // — the one backend where that fallback exists (DESIGN.md §15).
+    try {
+      reclaimer.pin().retire(node, alloc);
+    } catch (...) {
+      alloc.release(node);
+    }
     return Probe::kSuccess;
   }
 

@@ -42,6 +42,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/op_status.hpp"
 #include "core/params.hpp"
 #include "core/substack.hpp"
 #include "core/window.hpp"
@@ -79,27 +80,50 @@ class TwoDBag {
 
   const core::TwoDParams& params() const { return params_; }
 
+  /// Strong exception guarantee (DESIGN.md §15): same contract as the
+  /// stack's push — the node is acquired before any shared state is
+  /// touched, and a resource failure after the acquire releases the
+  /// still-unlinked node before rethrowing.
   void put(T value) {
     Node* node = alloc_.acquire(nullptr, std::move(value));
-    // Fast path: one probe of the thread's preferred column — identical
-    // to the stack's push fast path (same coordinate, same predicate).
-    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
-    const std::size_t index = preferred_index();
-    Column& column = columns_[index];
-    std::uint64_t word = column.head.load(std::memory_order_acquire);
-    if (core::head_count(word) < max) [[likely]] {
-      node->next = core::head_node<T>(word);
-      if (column.head.compare_exchange_strong(
-              word, core::pack_head(node, core::packed_count_after_push(word)),
-              std::memory_order_release, std::memory_order_relaxed))
-          [[likely]] {
-        obs::count<obs::Counter::kFastHits>();
+    try {
+      // Fast path: one probe of the thread's preferred column — identical
+      // to the stack's push fast path (same coordinate, same predicate).
+      const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+      const std::size_t index = preferred_index();
+      Column& column = columns_[index];
+      std::uint64_t word = column.head.load(std::memory_order_acquire);
+      if (core::head_count(word) < max) [[likely]] {
+        node->next = core::head_node<T>(word);
+        if (column.head.compare_exchange_strong(
+                word,
+                core::pack_head(node, core::packed_count_after_push(word)),
+                std::memory_order_release, std::memory_order_relaxed))
+            [[likely]] {
+          obs::count<obs::Counter::kFastHits>();
+          return;
+        }
+        put_slow(node, max, index, core::Probe::kContended);
         return;
       }
-      put_slow(node, max, index, core::Probe::kContended);
-      return;
+      put_slow(node, max, index, core::Probe::kIneligible);
+    } catch (...) {
+      alloc_.release(node);  // never linked: direct release is safe
+      throw;
     }
-    put_slow(node, max, index, core::Probe::kIneligible);
+  }
+
+  /// Non-throwing put: resource failure comes back as a status instead of
+  /// an exception, same strong guarantee.
+  core::OpStatus try_put(T value) {
+    try {
+      put(std::move(value));
+      return core::OpStatus::kOk;
+    } catch (const std::bad_alloc&) {
+      return core::OpStatus::kNoMemory;
+    } catch (const reclaim::SlotsExhausted&) {
+      return core::OpStatus::kNoSlots;
+    }
   }
 
   std::optional<T> take() {
@@ -123,6 +147,7 @@ class TwoDBag {
   // RelaxedStack surface: the bag behind the stack names, so every
   // harness runner and the service dispatcher drive it unmodified.
   void push(T value) { put(std::move(value)); }
+  core::OpStatus try_push(T value) { return try_put(std::move(value)); }
   std::optional<T> pop() { return take(); }
 
   /// True when every column's head was empty at the moment it was read.

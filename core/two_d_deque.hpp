@@ -44,6 +44,7 @@
 #include "core/deque_column_dwcas.hpp"
 #include "core/deque_column_locked.hpp"
 #include "core/deque_flow.hpp"
+#include "core/op_status.hpp"
 #include "core/params.hpp"
 #include "core/substack.hpp"  // InstanceLocal
 #include "core/window.hpp"
@@ -94,6 +95,12 @@ class TwoDDeque {
 
   void push_front(T value) { push<true>(std::move(value)); }
   void push_back(T value) { push<false>(std::move(value)); }
+  core::OpStatus try_push_front(T value) {
+    return try_push<true>(std::move(value));
+  }
+  core::OpStatus try_push_back(T value) {
+    return try_push<false>(std::move(value));
+  }
   std::optional<T> pop_front() { return pop<true>(); }
   std::optional<T> pop_back() { return pop<false>(); }
 
@@ -141,42 +148,66 @@ class TwoDDeque {
     return kFront ? front_max_ : back_max_;
   }
 
+  /// Strong exception guarantee (DESIGN.md §15): the node is acquired
+  /// before any shared state is touched, and — unlike the stack — the
+  /// column attempts pin the reclaimer per probe, so SlotsExhausted can
+  /// surface mid-sweep; the catch below releases the still-unlinked node
+  /// before rethrowing (a column attempt that fails leaves the column
+  /// untouched and never keeps a reference to the node). Once a column
+  /// CAS/splice lands, nothing after it can throw.
   template <bool kFront>
   void push(T value) {
     Node* node = alloc_.acquire(nullptr, nullptr, std::move(value));
-    std::atomic<std::uint64_t>& window = window_word<kFront>();
-    const std::uint64_t max = window.load(std::memory_order_acquire);
-    const std::size_t start = preferred_index();
-    // Fast path: one attempt on the thread's preferred column.
-    const core::Probe first =
-        columns_[start].template try_push<kFront>(node, max, reclaimer_,
-                                                  alloc_);
-    if (first == core::Probe::kSuccess) [[likely]] {
-      obs::count<obs::Counter::kFastHits>();
-      preferred_index() = start;
-      return;
-    }
-    core::drive_window_sweep(
-        params_, window, start, max, first,
-        /*attempt=*/
-        [&](std::size_t i, std::uint64_t m) {
-          const core::Probe p =
-              columns_[i].template try_push<kFront>(node, m, reclaimer_,
+    try {
+      std::atomic<std::uint64_t>& window = window_word<kFront>();
+      const std::uint64_t max = window.load(std::memory_order_acquire);
+      const std::size_t start = preferred_index();
+      // Fast path: one attempt on the thread's preferred column.
+      const core::Probe first =
+          columns_[start].template try_push<kFront>(node, max, reclaimer_,
                                                     alloc_);
-          if (p == core::Probe::kSuccess) preferred_index() = i;
-          return p;
-        },
-        /*eligible=*/
-        [&](std::size_t i, std::uint64_t m) {
-          return core::end_flow<kFront>(columns_[i].flows.load(
-                     std::memory_order_acquire)) < m;
-        },
-        /*certified=*/
-        [&](std::uint64_t m) {
-          return core::Certified::shift_to(m + params_.shift);
-        },
-        kFront ? obs::ShiftCause::kDequeFrontPush
-               : obs::ShiftCause::kDequeBackPush);
+      if (first == core::Probe::kSuccess) [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
+        preferred_index() = start;
+        return;
+      }
+      core::drive_window_sweep(
+          params_, window, start, max, first,
+          /*attempt=*/
+          [&](std::size_t i, std::uint64_t m) {
+            const core::Probe p =
+                columns_[i].template try_push<kFront>(node, m, reclaimer_,
+                                                      alloc_);
+            if (p == core::Probe::kSuccess) preferred_index() = i;
+            return p;
+          },
+          /*eligible=*/
+          [&](std::size_t i, std::uint64_t m) {
+            return core::end_flow<kFront>(columns_[i].flows.load(
+                       std::memory_order_acquire)) < m;
+          },
+          /*certified=*/
+          [&](std::uint64_t m) {
+            return core::Certified::shift_to(m + params_.shift);
+          },
+          kFront ? obs::ShiftCause::kDequeFrontPush
+                 : obs::ShiftCause::kDequeBackPush);
+    } catch (...) {
+      alloc_.release(node);  // never linked: direct release is safe
+      throw;
+    }
+  }
+
+  template <bool kFront>
+  core::OpStatus try_push(T value) {
+    try {
+      push<kFront>(std::move(value));
+      return core::OpStatus::kOk;
+    } catch (const std::bad_alloc&) {
+      return core::OpStatus::kNoMemory;
+    } catch (const reclaim::SlotsExhausted&) {
+      return core::OpStatus::kNoSlots;
+    }
   }
 
   template <bool kFront>

@@ -32,6 +32,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/op_status.hpp"
 #include "core/params.hpp"
 #include "core/substack.hpp"  // InstanceLocal
 #include "core/window.hpp"
@@ -74,10 +75,20 @@ class TwoDQueue {
         get_max_(params.depth),
         columns_(new Column[params.width]) {
     params_.validate();
-    for (std::size_t i = 0; i < params_.width; ++i) {
-      Node* dummy = alloc_.acquire();
-      columns_[i].head.store(dummy, std::memory_order_relaxed);
-      columns_[i].tail.store(dummy, std::memory_order_relaxed);
+    // Per-column dummies: if an acquire throws partway, release the ones
+    // already installed — columns_ only frees the array, not the nodes.
+    std::size_t created = 0;
+    try {
+      for (; created < params_.width; ++created) {
+        Node* dummy = alloc_.acquire();
+        columns_[created].head.store(dummy, std::memory_order_relaxed);
+        columns_[created].tail.store(dummy, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      for (std::size_t i = 0; i < created; ++i) {
+        alloc_.release(columns_[i].head.load(std::memory_order_relaxed));
+      }
+      throw;
     }
   }
 
@@ -97,34 +108,60 @@ class TwoDQueue {
 
   const core::TwoDParams& params() const { return params_; }
 
+  /// Strong exception guarantee (DESIGN.md §15). The guard pins *before*
+  /// anything is acquired, so SlotsExhausted out of the slot claim
+  /// propagates with nothing held, and any later throw unwinds through the
+  /// guard's destructor — no pinned epoch or published hazard survives a
+  /// failed enqueue. bad_alloc from the node acquire leaves the queue
+  /// untouched; a resource failure after it (value move, preferred-index
+  /// TLS map) releases the still-unlinked node before rethrowing. Once the
+  /// link CAS lands, nothing after it can throw.
   void enqueue(T value) {
     auto guard = reclaimer_.pin();
     Node* node = alloc_.acquire();
-    node->value = std::move(value);
-    const std::uint64_t max = put_max_.load(std::memory_order_acquire);
-    const std::size_t start = preferred_enq_index() % params_.width;
-    // Fast path: one attempt on the thread's preferred column.
-    const core::Probe first = try_enqueue_at(guard, node, start, max);
-    if (first == core::Probe::kSuccess) [[likely]] {
-      obs::count<obs::Counter::kFastHits>();
-      return;
+    try {
+      node->value = std::move(value);
+      const std::uint64_t max = put_max_.load(std::memory_order_acquire);
+      const std::size_t start = preferred_enq_index() % params_.width;
+      // Fast path: one attempt on the thread's preferred column.
+      const core::Probe first = try_enqueue_at(guard, node, start, max);
+      if (first == core::Probe::kSuccess) [[likely]] {
+        obs::count<obs::Counter::kFastHits>();
+        return;
+      }
+      core::drive_window_sweep(
+          params_, put_max_, start, max, first,
+          /*attempt=*/
+          [&](std::size_t i, std::uint64_t m) {
+            return try_enqueue_at(guard, node, i, m);
+          },
+          /*eligible=*/
+          [&](std::size_t i, std::uint64_t m) {
+            // Dereference-free: may say "eligible" on a stale lower bound
+            // (the attempt re-verifies exactly and refreshes the word), but
+            // a word >= m proves ineligibility.
+            return columns_[i].enq_serial.load(std::memory_order_acquire) < m;
+          },
+          /*certified=*/
+          [&](std::uint64_t m) { return certify_enqueue(m); },
+          obs::ShiftCause::kQueuePut);
+    } catch (...) {
+      alloc_.release(node);  // never linked: direct release is safe
+      throw;
     }
-    core::drive_window_sweep(
-        params_, put_max_, start, max, first,
-        /*attempt=*/
-        [&](std::size_t i, std::uint64_t m) {
-          return try_enqueue_at(guard, node, i, m);
-        },
-        /*eligible=*/
-        [&](std::size_t i, std::uint64_t m) {
-          // Dereference-free: may say "eligible" on a stale lower bound
-          // (the attempt re-verifies exactly and refreshes the word), but
-          // a word >= m proves ineligibility.
-          return columns_[i].enq_serial.load(std::memory_order_acquire) < m;
-        },
-        /*certified=*/
-        [&](std::uint64_t m) { return certify_enqueue(m); },
-        obs::ShiftCause::kQueuePut);
+  }
+
+  /// Non-throwing enqueue: resource failure comes back as a status instead
+  /// of an exception, same strong guarantee.
+  core::OpStatus try_enqueue(T value) {
+    try {
+      enqueue(std::move(value));
+      return core::OpStatus::kOk;
+    } catch (const std::bad_alloc&) {
+      return core::OpStatus::kNoMemory;
+    } catch (const reclaim::SlotsExhausted&) {
+      return core::OpStatus::kNoSlots;
+    }
   }
 
   std::optional<T> dequeue() {

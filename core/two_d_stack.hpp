@@ -32,6 +32,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/op_status.hpp"
 #include "core/params.hpp"
 #include "core/substack.hpp"
 #include "core/window.hpp"
@@ -69,28 +70,55 @@ class TwoDStack {
 
   const core::TwoDParams& params() const { return params_; }
 
+  /// Strong exception guarantee (DESIGN.md §15): the node is allocated
+  /// before any shared state is touched, so bad_alloc/SlotsExhausted out
+  /// of the acquire leaves the stack exactly as it was; a resource
+  /// failure after the acquire (pushes never pin, but the preferred-index
+  /// TLS map can allocate on a thread's first touch) releases the still-
+  /// unlinked node before rethrowing. Once the head CAS lands, nothing
+  /// after it can throw.
   void push(T value) {
     Node* node = alloc_.acquire(nullptr, std::move(value));
-    // Fast path: one probe of the thread's last successful column under
-    // the current window — one window read, one packed-head read, one CAS;
-    // no sweep state, no divisions, no reclaimer.
-    const std::uint64_t max = window_max_.load(std::memory_order_acquire);
-    const std::size_t index = preferred_index();
-    Column& column = columns_[index];
-    std::uint64_t word = column.head.load(std::memory_order_acquire);
-    if (core::head_count(word) < max) [[likely]] {
-      node->next = core::head_node<T>(word);
-      if (column.head.compare_exchange_strong(
-              word, core::pack_head(node, core::packed_count_after_push(word)),
-              std::memory_order_release, std::memory_order_relaxed))
-          [[likely]] {
-        obs::count<obs::Counter::kFastHits>();
+    try {
+      // Fast path: one probe of the thread's last successful column under
+      // the current window — one window read, one packed-head read, one
+      // CAS; no sweep state, no divisions, no reclaimer.
+      const std::uint64_t max = window_max_.load(std::memory_order_acquire);
+      const std::size_t index = preferred_index();
+      Column& column = columns_[index];
+      std::uint64_t word = column.head.load(std::memory_order_acquire);
+      if (core::head_count(word) < max) [[likely]] {
+        node->next = core::head_node<T>(word);
+        if (column.head.compare_exchange_strong(
+                word,
+                core::pack_head(node, core::packed_count_after_push(word)),
+                std::memory_order_release, std::memory_order_relaxed))
+            [[likely]] {
+          obs::count<obs::Counter::kFastHits>();
+          return;
+        }
+        push_slow(node, max, index, core::Probe::kContended);
         return;
       }
-      push_slow(node, max, index, core::Probe::kContended);
-      return;
+      push_slow(node, max, index, core::Probe::kIneligible);
+    } catch (...) {
+      alloc_.release(node);  // never linked: direct release is safe
+      throw;
     }
-    push_slow(node, max, index, core::Probe::kIneligible);
+  }
+
+  /// Non-throwing push: resource failure comes back as a status instead
+  /// of an exception, same strong guarantee (the value is consumed either
+  /// way; on failure no element was inserted).
+  core::OpStatus try_push(T value) {
+    try {
+      push(std::move(value));
+      return core::OpStatus::kOk;
+    } catch (const std::bad_alloc&) {
+      return core::OpStatus::kNoMemory;
+    } catch (const reclaim::SlotsExhausted&) {
+      return core::OpStatus::kNoSlots;
+    }
   }
 
   std::optional<T> pop() {

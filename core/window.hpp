@@ -28,9 +28,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 
 #include "core/params.hpp"
 #include "core/substack.hpp"  // hop_rand
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 
 namespace r2d::core {
@@ -192,6 +194,12 @@ bool drive_window_sweep(const TwoDParams& p,
     sweep.on_ineligible();
   }
   while (true) {
+    // Injected stall: a forced yield between the window re-read and the
+    // probe — the worst spot for preemption, where a concurrent shift
+    // invalidates the certification this sweep is building.
+    if (R2D_FAULT_POINT(kSweepStall)) [[unlikely]] {
+      std::this_thread::yield();
+    }
     {
       const std::uint64_t cur = window.load(std::memory_order_acquire);
       if (cur != max) {
@@ -243,9 +251,13 @@ bool drive_window_sweep(const TwoDParams& p,
       case Certified::Kind::kShift: {
         std::uint64_t expected = max;
         obs::count<obs::Counter::kShiftAttempts>();
-        const bool won = window.compare_exchange_strong(
-            expected, c.target, std::memory_order_acq_rel,
-            std::memory_order_relaxed);
+        // Injected shift loss: behaves exactly like losing the CAS to a
+        // racing shifter, without executing it — the window is re-read
+        // and the sweep restarts; monotonicity is untouched.
+        const bool won = !R2D_FAULT_POINT(kShiftCas) &&
+                         window.compare_exchange_strong(
+                             expected, c.target, std::memory_order_acq_rel,
+                             std::memory_order_relaxed);
         if (won) {
           obs::count<obs::Counter::kShiftWins>();
         } else {

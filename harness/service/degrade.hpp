@@ -1,0 +1,142 @@
+// Graceful overload degradation for the dispatch harness (DESIGN.md §15).
+//
+// Three pieces, all driven by the single generator thread so none of them
+// needs to be more than trivially atomic:
+//
+//   RetryPolicy — the generator-side knobs: how many times an arrival that
+//   found the admission gate full may retry (R2D_RETRY_MAX), the base unit
+//   of the jittered exponential backoff between retries (R2D_BACKOFF_NS),
+//   and the per-request deadline measured from the *intended* arrival time
+//   (R2D_DEADLINE_US). A request that exhausts its retries is shed; one
+//   whose deadline passes first is timed out — a third disposition that
+//   joins the conservation law (generated == admitted + shed + timed_out)
+//   instead of blurring into shed. Retrying in the generator deliberately
+//   makes later arrivals late rather than re-spacing the schedule: the
+//   open-loop coordinated-omission discipline is preserved, and the
+//   latency cost of retrying lands on the tasks that actually waited.
+//
+//   Backoff — capped exponential with xorshift64* jitter. Jitter matters
+//   even with one generator: a deterministic backoff phase-locks the
+//   retry probes against the workers' completion cadence, and the
+//   measured shed rate becomes an artifact of that resonance.
+//
+//   DegradeController — the windowed shed-pressure hysteresis that widens
+//   the admission cap under sustained overload. Every `window` arrivals
+//   the generator reports its shed fraction; at or above kEnterFraction
+//   the controller enters degraded mode, multiplying the effective cap by
+//   `factor` (R2D_DEGRADE_FACTOR; 1 disables the controller entirely).
+//   A wider cap is a wider run-queue bound — the service trades its
+//   latency guarantee for completions, the same depth-for-throughput
+//   exchange the 2D window itself makes, which is why degraded mode is
+//   described as widening the *effective relaxation*. At or below
+//   kExitFraction the cap snaps back. The two thresholds are far apart on
+//   purpose (hysteresis): without the gap the controller would flap at
+//   exactly the load where degradation changes the shed rate.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/service/shed.hpp"
+#include "util/env.hpp"
+
+namespace r2d::harness::service {
+
+struct RetryPolicy {
+  std::uint32_t max_retries = 0;   ///< R2D_RETRY_MAX; 0 = admit-or-shed
+  std::uint64_t backoff_ns = 500;  ///< R2D_BACKOFF_NS; base backoff unit
+  std::uint64_t deadline_us = 0;   ///< R2D_DEADLINE_US; 0 = no deadline
+
+  static RetryPolicy from_env() {
+    RetryPolicy p;
+    p.max_retries =
+        static_cast<std::uint32_t>(util::env_u64("R2D_RETRY_MAX", 0));
+    p.backoff_ns = util::env_u64("R2D_BACKOFF_NS", 500);
+    p.deadline_us = util::env_u64("R2D_DEADLINE_US", 0);
+    return p;
+  }
+};
+
+/// Capped exponential backoff with multiplicative xorshift64* jitter.
+/// Deterministic for a fixed seed; jittered so retry probes cannot
+/// phase-lock with worker completions.
+class Backoff {
+ public:
+  Backoff(std::uint64_t base_ns, std::uint64_t seed)
+      : base_ns_(base_ns == 0 ? 1 : base_ns),
+        state_(seed | 1)  // xorshift state must be nonzero
+  {}
+
+  /// The next delay: base * 2^attempt, capped at 64 * base, scaled by a
+  /// jitter factor uniform in [0.5, 1.5).
+  std::uint64_t next_ns() {
+    std::uint64_t d = base_ns_ << (attempt_ < 6 ? attempt_ : 6);
+    ++attempt_;
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t draw = state_ * 0x2545F4914F6CDD1Dull;
+    // jitter in [d/2, 3d/2): d/2 + (draw mod d)
+    return d / 2 + (d == 0 ? 0 : draw % d);
+  }
+
+  void reset() { attempt_ = 0; }
+
+ private:
+  const std::uint64_t base_ns_;
+  std::uint64_t state_;
+  unsigned attempt_ = 0;
+};
+
+/// Windowed shed-pressure hysteresis over an Admission gate. Call
+/// record() once per arrival from the generator thread (single-threaded
+/// by construction); the controller widens/narrows the gate's effective
+/// cap at window boundaries.
+class DegradeController {
+ public:
+  static constexpr double kEnterFraction = 0.5;   ///< enter at >= 50% shed
+  static constexpr double kExitFraction = 0.125;  ///< exit at <= 12.5%
+
+  DegradeController(Admission& gate, std::uint64_t factor,
+                    std::uint64_t window)
+      : gate_(gate),
+        factor_(factor < 1 ? 1 : factor),
+        window_(window < 1 ? 1 : window) {}
+
+  DegradeController(const DegradeController&) = delete;
+  DegradeController& operator=(const DegradeController&) = delete;
+
+  /// One arrival's disposition: `rejected` is true when the arrival was
+  /// shed or timed out (i.e. not admitted).
+  void record(bool rejected) {
+    if (factor_ == 1) return;  // disabled: never touches the gate
+    ++seen_;
+    if (rejected) ++rejected_;
+    if (seen_ < window_) return;
+    const double fraction =
+        static_cast<double>(rejected_) / static_cast<double>(seen_);
+    seen_ = 0;
+    rejected_ = 0;
+    if (!degraded_ && fraction >= kEnterFraction) {
+      degraded_ = true;
+      ++entries_;
+      gate_.set_effective_cap(gate_.cap() * factor_);
+    } else if (degraded_ && fraction <= kExitFraction) {
+      degraded_ = false;
+      gate_.set_effective_cap(gate_.cap());
+    }
+  }
+
+  bool degraded() const { return degraded_; }
+  std::uint64_t entries() const { return entries_; }
+
+ private:
+  Admission& gate_;
+  const std::uint64_t factor_;
+  const std::uint64_t window_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t entries_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace r2d::harness::service

@@ -47,6 +47,7 @@
 
 #include "harness/latency.hpp"
 #include "harness/service/arrival.hpp"
+#include "harness/service/degrade.hpp"
 #include "harness/service/shed.hpp"
 #include "harness/workload.hpp"
 
@@ -70,6 +71,12 @@ struct ServiceConfig {
   /// worker (R2D_SPAWN_WORKERS): the slot-lease churn workload. Reuse is
   /// a throughput choice, not a slot-cap necessity (DESIGN.md §13).
   bool spawn_per_request = false;
+  /// Overload-degradation knobs (DESIGN.md §15; harness/service/degrade.hpp).
+  /// The defaults — no retries, no deadline, factor 1 — reproduce the
+  /// pre-PR-9 admit-or-shed behavior exactly.
+  RetryPolicy retry;
+  std::uint64_t degrade_factor = 1;    ///< R2D_DEGRADE_FACTOR; 1 = off
+  std::uint64_t degrade_window = 256;  ///< R2D_DEGRADE_WINDOW, arrivals
 
   /// Lift the Workload arrival knobs into a service run shape.
   static ServiceConfig from_workload(const Workload& w) {
@@ -83,6 +90,9 @@ struct ServiceConfig {
     c.slo_us = w.slo_us;
     c.service_ns = util::env_u64("R2D_SERVICE_NS", c.service_ns);
     c.spawn_per_request = util::env_u64("R2D_SPAWN_WORKERS", 0) != 0;
+    c.retry = RetryPolicy::from_env();
+    c.degrade_factor = util::env_u64("R2D_DEGRADE_FACTOR", 1);
+    c.degrade_window = util::env_u64("R2D_DEGRADE_WINDOW", 256);
     return c;
   }
 };
@@ -91,6 +101,10 @@ struct ServiceResult {
   std::uint64_t generated = 0;
   std::uint64_t admitted = 0;
   std::uint64_t shed = 0;
+  std::uint64_t timed_out = 0;  ///< deadline passed while retrying admission
+  std::uint64_t retries = 0;    ///< admission retries across all arrivals
+  std::uint64_t degraded_entries = 0;  ///< times the cap was widened
+  bool degraded = false;               ///< any degraded period occurred
   std::uint64_t completed = 0;
   Histogram response;               ///< ns from intended arrival
   std::uint64_t slo_violations = 0;
@@ -100,11 +114,13 @@ struct ServiceResult {
   std::size_t slot_hwm = 0;  ///< container slot high-water mark, if leased
   double seconds = 0.0;             ///< wall time, generator start -> drain
 
-  /// The conservation law the harness exists to check: every arrival was
-  /// admitted or shed, and every admitted task was completed (post-drain).
+  /// The conservation law the harness exists to check: every arrival got
+  /// exactly one disposition (admitted, shed, or timed out), and every
+  /// admitted task was completed (post-drain). Retries don't appear: one
+  /// arrival retried N times is still one disposition.
   bool conserved() const {
-    return generated == admitted + shed && admitted == completed &&
-           response.count() == completed;
+    return generated == admitted + shed + timed_out &&
+           admitted == completed && response.count() == completed;
   }
 
   double p50_us() const { return response.quantile(0.50) / 1e3; }
@@ -161,6 +177,16 @@ inline void spin_ns(std::uint64_t ns) {
   }
 }
 
+/// Wait out one backoff interval: spin for short delays, sleep once the
+/// interval is long enough that burning a core would distort the run.
+inline void backoff_wait(std::uint64_t ns) {
+  if (ns > 100'000) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  } else {
+    spin_ns(ns);
+  }
+}
+
 }  // namespace detail
 
 /// Run one open-loop service scenario against `queue`. Blocks until the
@@ -186,10 +212,15 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
   };
   std::vector<WorkerStats> stats(config.workers);
   std::uint64_t generated = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t degraded_entries = 0;
 
   const auto origin = Clock::now();
 
   std::thread generator([&] {
+    const RetryPolicy retry = config.retry;
+    DegradeController degrade(admission, config.degrade_factor,
+                              config.degrade_window);
     std::uint64_t seq = 0;
     while (true) {
       const std::uint64_t intended = arrivals.next_ns();
@@ -207,10 +238,50 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
       while (Clock::now() < due) {
       }
       ++generated;
-      if (admission.try_admit()) {
-        detail::dispatch_push(queue, Task{intended, seq++});
+      // Admission with bounded retry under a per-request deadline
+      // (degrade.hpp). Time spent backing off makes later arrivals late —
+      // they are pushed immediately, never re-spaced — so the open-loop
+      // coordinated-omission discipline survives retrying. The deadline
+      // is measured from the *intended* arrival, charging the request the
+      // time it actually spent waiting for the gate.
+      bool acquired = admission.try_acquire();
+      bool deadline_hit = false;
+      if (!acquired && retry.max_retries > 0) {
+        Backoff backoff(retry.backoff_ns,
+                        0x9E3779B97F4A7C15ull ^ generated);
+        const auto deadline =
+            due + std::chrono::microseconds(retry.deadline_us);
+        for (std::uint32_t r = 0; r < retry.max_retries; ++r) {
+          if (retry.deadline_us != 0 && Clock::now() >= deadline) {
+            deadline_hit = true;
+            break;
+          }
+          detail::backoff_wait(backoff.next_ns());
+          ++retries_total;
+          if ((acquired = admission.try_acquire())) break;
+        }
+        if (!acquired && !deadline_hit && retry.deadline_us != 0 &&
+            Clock::now() >= deadline) {
+          deadline_hit = true;
+        }
       }
+      if (acquired) {
+        try {
+          detail::dispatch_push(queue, Task{intended, seq++});
+        } catch (...) {
+          // OOM (or slot exhaustion) pushing into the run queue: the task
+          // was never visible to a worker, so roll the admission back and
+          // settle the arrival as shed — conservation holds exactly.
+          admission.abandon();
+        }
+      } else if (deadline_hit) {
+        admission.count_timed_out();
+      } else {
+        admission.count_shed();
+      }
+      degrade.record(!acquired);
     }
+    degraded_entries = degrade.entries();
     generator_done.store(true, std::memory_order_release);
   });
 
@@ -288,6 +359,10 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
   result.generated = generated;
   result.admitted = admission.admitted();
   result.shed = admission.shed();
+  result.timed_out = admission.timed_out();
+  result.retries = retries_total;
+  result.degraded_entries = degraded_entries;
+  result.degraded = degraded_entries > 0;
   result.completed = admission.completed();
   result.seconds =
       std::chrono::duration<double>(Clock::now() - origin).count();

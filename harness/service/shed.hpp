@@ -12,12 +12,22 @@
 // to carry: at most `cap` items, whatever the offered load.
 //
 // Conservation is the whole contract, and it is checked, not assumed:
-//   generated == admitted + shed            (every arrival counted once)
-//   admitted  == completed + inflight       (at any instant)
-//   admitted  == completed                  (after drain)
+//   generated == admitted + shed + timed_out (every arrival counted once)
+//   admitted  == completed + inflight        (at any instant)
+//   admitted  == completed                   (after drain)
 // tests/test_service.cpp hammers try_admit/complete from 4 threads and
 // bench/service_dispatch.cpp refuses to emit a row that fails either
-// equation.
+// equation. timed_out is the third disposition PR 9 added: a generator
+// retrying admission under a per-request deadline (see degrade.hpp) calls
+// count_timed_out() instead of folding the loss into shed.
+//
+// The cap has two faces since PR 9: `cap()` is the configured bound, and
+// the gate actually admits against an *effective* cap that the degrade
+// controller may widen under sustained shed pressure (and narrow back).
+// try_admit keeps its original one-shot semantics — admit or count a
+// shed — while try_acquire is the non-counting probe the retry loop
+// needs: failure leaves every counter untouched so one arrival retried N
+// times still accounts as exactly one disposition.
 #pragma once
 
 #include <atomic>
@@ -32,12 +42,15 @@ class Admission {
   Admission(const Admission&) = delete;
   Admission& operator=(const Admission&) = delete;
 
-  /// Admit-or-shed one arrival. True: the caller owns one in-flight task
-  /// and must eventually call complete(). False: the arrival was shed
-  /// (accounted here; the caller drops it).
-  bool try_admit() {
+  /// Non-counting admission probe. True: the caller owns one in-flight
+  /// task and must eventually call complete(). False: the gate is at its
+  /// effective cap — *no* counter moved, so the caller may retry and
+  /// later settle the arrival's one disposition via count_shed() or
+  /// count_timed_out().
+  bool try_acquire() {
+    const std::uint64_t cap = effective_cap_.load(std::memory_order_relaxed);
     std::uint64_t in = inflight_.load(std::memory_order_relaxed);
-    while (in < cap_) {
+    while (in < cap) {
       if (inflight_.compare_exchange_weak(in, in + 1,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
@@ -46,8 +59,32 @@ class Admission {
       }
       // CAS failure reloaded `in`; loop re-checks the cap.
     }
+    return false;
+  }
+
+  /// Admit-or-shed one arrival: the original one-shot gate.
+  bool try_admit() {
+    if (try_acquire()) return true;
     shed_.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+
+  /// Settle an arrival that exhausted its retries as shed.
+  void count_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Settle an arrival whose deadline passed while retrying as timed out.
+  void count_timed_out() {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Roll back an admission whose enqueue failed (e.g. OOM pushing into
+  /// the run queue): the task was never visible to a worker, so it leaves
+  /// the admitted population entirely and the arrival settles as shed —
+  /// conservation holds with no phantom in-flight task.
+  void abandon() {
+    admitted_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Retire one admitted task (worker side, after service).
@@ -57,10 +94,23 @@ class Admission {
   }
 
   std::uint64_t cap() const { return cap_; }
+
+  /// The cap the gate currently admits against — the configured cap
+  /// unless the degrade controller widened it (harness/service/degrade.hpp).
+  std::uint64_t effective_cap() const {
+    return effective_cap_.load(std::memory_order_acquire);
+  }
+  void set_effective_cap(std::uint64_t cap) {
+    effective_cap_.store(cap < 1 ? 1 : cap, std::memory_order_release);
+  }
+
   std::uint64_t admitted() const {
     return admitted_.load(std::memory_order_acquire);
   }
   std::uint64_t shed() const { return shed_.load(std::memory_order_acquire); }
+  std::uint64_t timed_out() const {
+    return timed_out_.load(std::memory_order_acquire);
+  }
   std::uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
   }
@@ -70,9 +120,11 @@ class Admission {
 
  private:
   const std::uint64_t cap_;
+  std::atomic<std::uint64_t> effective_cap_{cap_};
   alignas(64) std::atomic<std::uint64_t> inflight_{0};
   alignas(64) std::atomic<std::uint64_t> admitted_{0};
   alignas(64) std::atomic<std::uint64_t> shed_{0};
+  alignas(64) std::atomic<std::uint64_t> timed_out_{0};
   alignas(64) std::atomic<std::uint64_t> completed_{0};
 };
 

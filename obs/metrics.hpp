@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "reclaim/slot_registry.hpp"
 #include "util/crash_trace.hpp"
 #include "util/env.hpp"
@@ -103,6 +104,10 @@ enum class Counter : unsigned {
   // DWCAS deque column backend.
   kDwcasRetries,  ///< failed 16-byte head CASes
   kHelpBridges,   ///< bridge CASes helped on another op's pending head
+  // Fault injection + OOM hardening (fault/inject.hpp, DESIGN.md §15).
+  kFaultsInjected,  ///< fault points that fired (all sites, all policies)
+  kRetireLeaks,     ///< nodes leaked when a retire/free path hit OOM or
+                    ///< slot exhaustion past the point of repair
   kCount
 };
 
@@ -245,6 +250,8 @@ inline const char* counter_name(Counter i) {
     case Counter::kDepotCasRetries: return "depot_cas_retries";
     case Counter::kDwcasRetries: return "dwcas_retries";
     case Counter::kHelpBridges: return "help_bridges";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kRetireLeaks: return "retire_leaks";
     case Counter::kCount: break;
   }
   return "?";
@@ -591,6 +598,27 @@ inline void record_shift(std::uint64_t old_max, std::uint64_t new_max,
                          bool won, ShiftCause cause) {
   metrics().record_shift(old_max, new_max, won, cause);
 }
+
+namespace detail {
+/// Link fault/ into the counter taxonomy: fault/inject.hpp exposes a raw
+/// hook (it must not include obs/); this inline variable's dynamic
+/// initializer installs the counting callback pre-main. The reentrancy
+/// latch matters: counting can itself claim a metrics shard, whose
+/// claim_slot holds a fault point — at rate:1.0 that would recurse
+/// without it.
+inline const bool fault_hook_installed = [] {
+  fault::detail::on_inject.store(
+      +[] {
+        static thread_local bool in_hook = false;
+        if (in_hook) return;
+        in_hook = true;
+        count<Counter::kFaultsInjected>();
+        in_hook = false;
+      },
+      std::memory_order_release);
+  return true;
+}();
+}  // namespace detail
 
 /// Append the Snapshot's derived rates + raw counters as one JSON object
 /// (used by bench/common.hpp and the service bench).

@@ -25,8 +25,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
 
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/pool.hpp"
 #include "reclaim/slot_registry.hpp"
@@ -40,6 +42,7 @@ template <typename T>
 struct HeapAlloc {
   template <typename... Args>
   T* acquire(Args&&... args) {
+    if (R2D_FAULT_POINT(kHeapAlloc)) [[unlikely]] throw std::bad_alloc{};
     return new T{std::forward<Args>(args)...};
   }
   void release(T* obj) { delete obj; }
@@ -147,6 +150,12 @@ class PoolAlloc : private detail::Lessor {
   }
 
   void* take_block(Slot* s) {
+    // Forced magazine miss: go straight to the slab layer WITHOUT
+    // touching the magazines (bypassing a populated magazine into the
+    // depot-refill path would clobber `mag` and leak its chain).
+    if (R2D_FAULT_POINT(kMagazineTake)) [[unlikely]] {
+      return pool_.alloc_block();
+    }
     void* block = s->mag;
     if (block != nullptr) [[likely]] {
       s->mag = Pool<T>::chain_next(block).load(std::memory_order_relaxed);
@@ -159,6 +168,11 @@ class PoolAlloc : private detail::Lessor {
       s->mag = Pool<T>::chain_next(block).load(std::memory_order_relaxed);
       s->count = mag_size_ - 1;
       return block;
+    }
+    // Forced depot miss: both magazines are empty here, so skipping the
+    // scan safely lands on the slab path.
+    if (R2D_FAULT_POINT(kDepotPop)) [[unlikely]] {
+      return pool_.alloc_block();
     }
     if ((block = depot_pop(s)) != nullptr) {
       s->mag = Pool<T>::chain_next(block).load(std::memory_order_relaxed);

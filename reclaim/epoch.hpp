@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/membarrier.hpp"
 #include "reclaim/slot_registry.hpp"
@@ -94,12 +95,11 @@ class EpochReclaimer : private detail::Lessor {
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       for (auto& bucket : slots_[i].bucket) {
-        for (const Retired& r : bucket) r.destroy(r.node, r.ctx);
+        for (const Retired& r : bucket) destroy_retired(r);
         bucket.clear();
       }
     }
-    for (const Orphan& o : orphans_) o.retired.destroy(o.retired.node,
-                                                       o.retired.ctx);
+    for (const Orphan& o : orphans_) destroy_retired(o.retired);
     orphans_.clear();
   }
 
@@ -227,14 +227,31 @@ class EpochReclaimer : private detail::Lessor {
   /// Hand a quiesced slot's retired buckets to the orphan queue and reset
   /// the slot to fresh-claim state. Caller must hold the slot via the
   /// arbitration CAS (exit walk or steal cleanse).
-  void orphan_slot(Slot& s) {
+  void orphan_slot(Slot& s) noexcept {
     {
       std::lock_guard<std::mutex> lock(orphan_mu_);
+      const std::size_t incoming =
+          s.bucket[0].size() + s.bucket[1].size() + s.bucket[2].size();
+      bool room = incoming == 0;
+      if (!room) {
+        // Reach capacity before queueing anything: runs on the noexcept
+        // exit walk, and a half-queued bucket would double-count.
+        try {
+          orphans_.reserve(orphans_.size() + incoming);
+          room = true;
+        } catch (const std::bad_alloc&) {
+          // Can't queue and can't destroy early (the dead owner's grace
+          // period has not passed): leak the retirees, visibly.
+          obs::count<obs::Counter::kRetireLeaks>(incoming);
+        }
+      }
       std::uint64_t queued = 0;
       for (unsigned k = 0; k < 3; ++k) {
-        for (const Retired& r : s.bucket[k]) {
-          orphans_.push_back(Orphan{r, s.bucket_epoch[k]});
-          ++queued;
+        if (room) {
+          for (const Retired& r : s.bucket[k]) {
+            orphans_.push_back(Orphan{r, s.bucket_epoch[k]});
+            ++queued;
+          }
         }
         s.bucket[k].clear();
       }
@@ -252,10 +269,26 @@ class EpochReclaimer : private detail::Lessor {
   /// No-op under deferred-free (TSan) builds; the destructor drains.
   void drain_orphans(std::uint64_t global_e) {
 #if !R2D_EBR_DEFER_FREES
+    // Injected deferral: skipping a drain is always legal — the queue
+    // just waits for the next advance (what a real bad_alloc below does).
+    if (R2D_FAULT_POINT(kEpochOrphanDrain)) [[unlikely]] return;
     if (orphan_count_.load(std::memory_order_acquire) == 0) return;
     std::vector<Orphan> ready;
     {
       std::lock_guard<std::mutex> lock(orphan_mu_);
+      std::size_t n_ready = 0;
+      for (const Orphan& o : orphans_) {
+        if (o.epoch + 2 <= global_e) ++n_ready;
+      }
+      if (n_ready == 0) return;
+      // Reserve BEFORE compacting: a bad_alloc here defers the whole
+      // drain with the queue untouched; the no-throw push_backs below
+      // can then never leave orphans_ half-compacted.
+      try {
+        ready.reserve(n_ready);
+      } catch (const std::bad_alloc&) {
+        return;
+      }
       std::size_t keep = 0;
       for (Orphan& o : orphans_) {
         if (o.epoch + 2 <= global_e) {
@@ -271,26 +304,50 @@ class EpochReclaimer : private detail::Lessor {
     if (!ready.empty()) {
       obs::count<obs::Counter::kEpochOrphansDrained>(ready.size());
     }
-    for (const Orphan& o : ready) o.retired.destroy(o.retired.node,
-                                                    o.retired.ctx);
+    for (const Orphan& o : ready) destroy_retired(o.retired);
 #else
     (void)global_e;
 #endif
   }
 
-  void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
+  /// Destroy one retiree, absorbing resource failure: a pooled release
+  /// can throw SlotsExhausted (its slot claim) after the node's
+  /// destructor has already run, past the point of repair — the only
+  /// consistent outcome is to leak that one block and keep going
+  /// (DESIGN.md §15). Counted so leaks are visible, never silent.
+  static void destroy_retired(const Retired& r) noexcept {
+    try {
+      r.destroy(r.node, r.ctx);
+    } catch (...) {
+      obs::count<obs::Counter::kRetireLeaks>();
+    }
+  }
+
+  /// Never lets a resource exception escape: retire is called AFTER a
+  /// pop has linearized (the value is already moved out), so a throw
+  /// here would lose a successfully delivered element. bad_alloc on the
+  /// bucket append leaks the single node instead (DESIGN.md §15).
+  void retire_at(Slot* s, void* node, void* ctx,
+                 void (*destroy)(void*, void*)) noexcept {
     const std::uint64_t e = s->epoch.load(std::memory_order_relaxed);
     auto& bucket = s->bucket[e % 3];
     if (s->bucket_epoch[e % 3] != e) {
 #if !R2D_EBR_DEFER_FREES
       // Bucket holds nodes from epoch e-3 or older; the global epoch has
       // since reached at least e >= old+3 > old+2, so they are safe.
-      for (const Retired& r : bucket) r.destroy(r.node, r.ctx);
+      for (const Retired& r : bucket) destroy_retired(r);
       bucket.clear();
 #endif
       s->bucket_epoch[e % 3] = e;
     }
-    bucket.push_back(Retired{node, ctx, destroy});
+    try {
+      bucket.push_back(Retired{node, ctx, destroy});
+    } catch (const std::bad_alloc&) {
+      // Can't track it, can't free it (a concurrent reader may still
+      // hold a reference): leak this one node, visibly.
+      obs::count<obs::Counter::kRetireLeaks>();
+      return;
+    }
     if (++s->retires_since_advance >= advance_every_) {
       s->retires_since_advance = 0;
       try_advance();

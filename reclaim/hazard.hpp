@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/slot_registry.hpp"
 
@@ -52,12 +53,12 @@ class HazardReclaimer : private detail::Lessor {
     detail::ChurnRegistry::get().remove_lessor(id_);
     const std::size_t n = hwm_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
-      for (const Retired& r : slots_[i].retired) r.destroy(r.node, r.ctx);
+      for (const Retired& r : slots_[i].retired) destroy_retired(r);
       slots_[i].retired.clear();
     }
     // Orphans from exited threads that no scan adopted: destruction is
     // quiesced by contract, so no hazard can still protect them.
-    for (const Retired& r : orphans_) r.destroy(r.node, r.ctx);
+    for (const Retired& r : orphans_) destroy_retired(r);
     orphans_.clear();
   }
 
@@ -179,37 +180,83 @@ class HazardReclaimer : private detail::Lessor {
   /// Null the slot's protections and move its retirees to the orphan
   /// list; the next scan adopts them (re-checking live hazards before any
   /// free, as for its own retirees). Caller holds the arbitration CAS.
-  void cleanse_slot(Slot& s) {
+  void cleanse_slot(Slot& s) noexcept {
     for (auto& h : s.hazard) h.store(nullptr, std::memory_order_release);
     if (!s.retired.empty()) {
       std::lock_guard<std::mutex> lock(orphan_mu_);
-      orphans_.insert(orphans_.end(), s.retired.begin(), s.retired.end());
+      // Runs on the noexcept exit walk: reach capacity before moving
+      // anything; if even that fails, leak the retirees visibly rather
+      // than terminate (DESIGN.md §15).
+      try {
+        orphans_.reserve(orphans_.size() + s.retired.size());
+        orphans_.insert(orphans_.end(), s.retired.begin(), s.retired.end());
+      } catch (const std::bad_alloc&) {
+        obs::count<obs::Counter::kRetireLeaks>(s.retired.size());
+      }
       s.retired.clear();
       orphan_count_.store(orphans_.size(), std::memory_order_release);
     }
   }
 
-  void retire_at(Slot* s, void* node, void* ctx, void (*destroy)(void*, void*)) {
-    s->retired.push_back(Retired{node, ctx, destroy});
+  /// Destroy one retiree, absorbing resource failure: a pooled release
+  /// can throw SlotsExhausted after the node's destructor has run —
+  /// leak the block and keep going (DESIGN.md §15), counted.
+  static void destroy_retired(const Retired& r) noexcept {
+    try {
+      r.destroy(r.node, r.ctx);
+    } catch (...) {
+      obs::count<obs::Counter::kRetireLeaks>();
+    }
+  }
+
+  /// Never lets a resource exception escape: called after a pop has
+  /// linearized, so a throw here would lose a delivered element.
+  void retire_at(Slot* s, void* node, void* ctx,
+                 void (*destroy)(void*, void*)) noexcept {
+    try {
+      s->retired.push_back(Retired{node, ctx, destroy});
+    } catch (const std::bad_alloc&) {
+      obs::count<obs::Counter::kRetireLeaks>();
+      return;
+    }
     if (s->retired.size() >= kScanThreshold) scan(s);
   }
 
-  void scan(Slot* s) {
+  void scan(Slot* s) noexcept {
+    // Injected deferral: a skipped scan only delays frees; the retired
+    // list keeps growing until a later scan succeeds — exactly the
+    // real-bad_alloc fallback below.
+    if (R2D_FAULT_POINT(kHazardScan)) [[unlikely]] return;
     obs::count<obs::Counter::kHazardScans>();
     // Adopt orphaned retirees first: they get the same hazard re-check as
     // our own, so a node a live thread still protects survives the scan.
     if (orphan_count_.load(std::memory_order_acquire) != 0) {
       std::lock_guard<std::mutex> lock(orphan_mu_);
       if (!orphans_.empty()) {
-        obs::count<obs::Counter::kHazardOrphansAdopted>(orphans_.size());
+        bool adopted = true;
+        try {
+          s->retired.reserve(s->retired.size() + orphans_.size());
+        } catch (const std::bad_alloc&) {
+          adopted = false;  // skip adoption; orphans stay queued
+        }
+        if (adopted) {
+          obs::count<obs::Counter::kHazardOrphansAdopted>(orphans_.size());
+          s->retired.insert(s->retired.end(), orphans_.begin(),
+                            orphans_.end());
+          orphans_.clear();
+          orphan_count_.store(0, std::memory_order_release);
+        }
       }
-      s->retired.insert(s->retired.end(), orphans_.begin(), orphans_.end());
-      orphans_.clear();
-      orphan_count_.store(0, std::memory_order_release);
     }
     std::vector<void*> hazards;
+    std::vector<Retired> keep;
     const std::size_t n = hwm_.load(std::memory_order_acquire);
-    hazards.reserve(n * kMaxProtected);
+    try {
+      hazards.reserve(n * kMaxProtected);
+      keep.reserve(s->retired.size());
+    } catch (const std::bad_alloc&) {
+      return;  // defer the whole scan; retirees stay parked in the slot
+    }
     for (std::size_t i = 0; i < n; ++i) {
       for (const auto& h : slots_[i].hazard) {
         void* p = h.load(std::memory_order_seq_cst);
@@ -217,12 +264,11 @@ class HazardReclaimer : private detail::Lessor {
       }
     }
     std::sort(hazards.begin(), hazards.end());
-    std::vector<Retired> keep;
     for (const Retired& r : s->retired) {
       if (std::binary_search(hazards.begin(), hazards.end(), r.node)) {
         keep.push_back(r);
       } else {
-        r.destroy(r.node, r.ctx);
+        destroy_retired(r);
       }
     }
     s->retired.swap(keep);

@@ -37,6 +37,7 @@
 #include <utility>
 
 #include "core/substack.hpp"  // InstanceLocal
+#include "fault/inject.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d::reclaim {
@@ -125,6 +126,14 @@ class Pool {
   /// Carve a fresh, never-used block. One CAS on the packed {slab, index}
   /// cursor in steady state; losers of a slab-growth race free their
   /// candidate and retry on the winner's slab.
+  ///
+  /// OOM contract (DESIGN.md §15): when a slab cannot be allocated, the
+  /// pool falls back to *recycled* blocks from every shard's free list
+  /// before propagating bad_alloc — under memory pressure the pool keeps
+  /// serving as long as anything has been released anywhere. The cursor
+  /// is never left mid-advance: grow() only ever installs a fully
+  /// constructed slab with one CAS, and a failed growth touches no
+  /// shared state at all.
   void* alloc_block() {
     std::uint64_t cur = bump_.load(std::memory_order_acquire);
     while (true) {
@@ -138,7 +147,17 @@ class Pool {
         }
         continue;
       }
-      grow(cur);
+      if (!grow(cur)) {
+        if (void* block = scavenge()) return block;
+        // A racing thread may have installed a slab while we scavenged;
+        // only give up once the cursor is provably unchanged.
+        const std::uint64_t latest = bump_.load(std::memory_order_acquire);
+        if (latest != cur) {
+          cur = latest;
+          continue;
+        }
+        throw std::bad_alloc{};
+      }
     }
   }
 
@@ -147,12 +166,36 @@ class Pool {
     return reinterpret_cast<char*>(slab) + kBlockStride * (index + 1);
   }
 
+  /// Drain one recycled block from whichever shard has one — the
+  /// can't-grow fallback. Starts from this thread's own shard so the
+  /// degraded path keeps what locality it can.
+  void* scavenge() {
+    const std::size_t start =
+        static_cast<std::size_t>(&local_shard() - shards_);
+    for (std::size_t k = 0; k < kShards; ++k) {
+      if (void* block = pop_block(shards_[(start + k) % kShards])) {
+        return block;
+      }
+    }
+    return nullptr;
+  }
+
   /// Install a fresh slab unless someone else did first. Updates `cur` to
-  /// the current cursor either way.
-  void grow(std::uint64_t& cur) {
+  /// the current cursor either way. Returns false when the slab could not
+  /// be allocated (real OOM or an injected kSlabGrow fault) — in that
+  /// case no shared state has been touched, so the caller can fall back
+  /// or retry safely.
+  bool grow(std::uint64_t& cur) {
     const std::size_t bytes = kBlockStride * (kSlabBlocks + 1);
     auto* fresh = static_cast<Slab*>(
-        ::operator new(bytes, std::align_val_t{kBlockAlign}));
+        R2D_FAULT_POINT(kSlabGrow)
+            ? nullptr
+            : ::operator new(bytes, std::align_val_t{kBlockAlign},
+                             std::nothrow));
+    if (fresh == nullptr) [[unlikely]] {
+      cur = bump_.load(std::memory_order_acquire);
+      return false;
+    }
     // Construct every block's chain words before the slab is published —
     // after this the tail 16 bytes of each block are only ever touched
     // through these atomics.
@@ -175,6 +218,7 @@ class Pool {
     } else {
       ::operator delete(fresh, std::align_val_t{kBlockAlign});
     }
+    return true;
   }
 
   /// The calling thread's shard for *this* pool: assigned round-robin per

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "util/env.hpp"
 
 namespace r2d::reclaim {
@@ -296,6 +297,12 @@ template <typename Slot, typename Quiesced, typename Cleanse>
 Slot* claim_slot(Slot* slots, std::size_t max_slots,
                  std::atomic<std::size_t>& hwm, std::uint64_t instance_id,
                  Lessor* lessor, Quiesced&& quiesced, Cleanse&& cleanse) {
+  // Injected exhaustion: what every claim site must absorb — thrown at
+  // entry, before any registry or slot state is touched, so unwinding
+  // observes exactly the pre-call container state.
+  if (R2D_FAULT_POINT(kSlotClaim)) [[unlikely]] {
+    throw SlotsExhausted(max_slots, max_slots, 0, 0);
+  }
   const std::uint64_t token = thread_token();
   ChurnRegistry& registry = ChurnRegistry::get();
   const bool resurrected = registry.note_claim(token, instance_id, lessor);
@@ -332,7 +339,10 @@ Slot* claim_slot(Slot* slots, std::size_t max_slots,
   };
   if (Slot* s = claim_free()) return s;
 
-  if (slot_steal_enabled()) {
+  // Injected steal failure: skipping the pass models losing every
+  // arbitration CAS; the claimer then reports exhaustion exactly as if
+  // the dead slots were not quiesced.
+  if (slot_steal_enabled() && !R2D_FAULT_POINT(kSlotSteal)) {
     // Steal pass: reclaim a slot whose owner's thread is gone and whose
     // state is quiesced. is_live under the registry mutex gives the edge
     // that makes the dead owner's parked state safe to read after the CAS.

@@ -35,6 +35,25 @@ cmake -B "$BUILD_DIR-noobs" -S . -DR2D_SANITIZER="$SANITIZER" -DR2D_OBS=0
 cmake --build "$BUILD_DIR-noobs" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR-noobs" --output-on-failure -j "$(nproc)"
 
+# Fault-injection arm (DESIGN.md §15): every config (plain/asan/tsan) also
+# builds with the injector compiled in and runs the full tier-1 suite —
+# test_fault's deterministic nth-site OOM sweep and forced-DWCAS hammer
+# only bite here (the default build compiles injection to nothing).
+echo "=== fault build: R2D_FAULT=1 ==="
+cmake -B "$BUILD_DIR-fault" -S . -DR2D_SANITIZER="$SANITIZER" -DR2D_FAULT=1
+cmake --build "$BUILD_DIR-fault" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR-fault" --output-on-failure -j "$(nproc)"
+# Rate torture: the same binary re-run under an env-selected random
+# injection policy — 4-thread hammers where ~2% of every resource
+# acquisition, steal pass, shift CAS, and DWCAS fails, with multiset
+# conservation asserted after the storm.
+echo "=== fault rate torture: R2D_FAULT=rate:0.02 ==="
+R2D_FAULT=rate:0.02 R2D_FAULT_SEED=7 "$BUILD_DIR-fault/tests/test_fault"
+# Deterministic single-shot replay of the same binary under a global-nth
+# policy, exercising the env-configured (not test-configured) path.
+echo "=== fault env torture: R2D_FAULT=nth:1000 ==="
+R2D_FAULT=nth:1000 R2D_FAULT_SEED=7 "$BUILD_DIR-fault/tests/test_fault"
+
 # Smoke one figure bench end to end with tiny settings: catches crashes and
 # hangs in the measured loops that unit tests cannot.
 echo "=== smoke: fig1_relaxation_sweep ==="
@@ -159,6 +178,12 @@ if [ -z "$SANITIZER" ]; then
   grep -q '"metrics"' BENCH_service.json
   grep -q '"hops_per_op"' BENCH_service.json
   grep -q '"saturated"' BENCH_service.json
+  # Overload-degradation counters (PR 9): every row reports its retry,
+  # deadline, and degraded-mode accounting even when the knobs are off.
+  grep -q '"retries"' BENCH_service.json
+  grep -q '"timed_out"' BENCH_service.json
+  grep -q '"degraded_entries"' BENCH_service.json
+  grep -q '"degraded"' BENCH_service.json
 
   # Overhead guard: metrics-on (runtime default) vs an R2D_OBS=0 build of
   # the same Release tree must stay within 5% on the single-threaded
@@ -225,6 +250,69 @@ PY
           obs_off_4.json obs_off_5.json
   else
     echo "overhead guard: micro_ops not built (no google-benchmark); skipped"
+  fi
+
+  # Fault overhead guard (same harness shape as the obs one): a Release
+  # build with the injector compiled in but its policy off must stay
+  # within 5% (geomean) of the default build — the "one relaxed load per
+  # site" claim, measured. The default build's own zero cost is
+  # structural: should_fail is constexpr false, so every fault point
+  # dead-code-eliminates (test_fault asserts the API parity).
+  FAULT_PERF_DIR=build-perf-fault
+  cmake -B "$FAULT_PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DR2D_SANITIZER= -DR2D_FAULT=1
+  cmake --build "$FAULT_PERF_DIR" -j "$(nproc)"
+  if [ -x "$PERF_DIR/micro_ops" ] && [ -x "$FAULT_PERF_DIR/micro_ops" ]; then
+    echo "=== overhead guard: default vs R2D_FAULT=1 (policy off) ==="
+    for i in 1 2 3 4 5; do
+      R2D_FAULT=off "$FAULT_PERF_DIR/micro_ops" \
+        --benchmark_filter='single/' --benchmark_min_time=0.05 \
+        --benchmark_out="fault_on_$i.json" --benchmark_out_format=json \
+        > /dev/null
+      "$PERF_DIR/micro_ops" --benchmark_filter='single/' \
+        --benchmark_min_time=0.05 --benchmark_out="fault_off_$i.json" \
+        --benchmark_out_format=json > /dev/null
+    done
+    python3 - <<'PY'
+import json
+import math
+
+def best(paths):
+    out = {}
+    for p in paths:
+        with open(p) as f:
+            rows = json.load(f)["benchmarks"]
+        for b in rows:
+            t = b["real_time"]
+            if b["name"] not in out or t < out[b["name"]]:
+                out[b["name"]] = t
+    return out
+
+on = best(["fault_on_%d.json" % i for i in (1, 2, 3, 4, 5)])
+off = best(["fault_off_%d.json" % i for i in (1, 2, 3, 4, 5)])
+logsum, n = 0.0, 0
+for name in sorted(off):
+    if name not in on:
+        continue
+    ratio = on[name] / off[name]
+    logsum += math.log(ratio)
+    n += 1
+    print("  %-40s off=%8.1fns on=%8.1fns (%+.1f%%)"
+          % (name, off[name], on[name], 100.0 * (ratio - 1.0)))
+if n == 0:
+    raise SystemExit("fault overhead guard: no common benchmarks")
+geomean = math.exp(logsum / n) - 1.0
+if geomean > 0.05:
+    raise SystemExit("fault-injection overhead %.1f%% (geomean) exceeds "
+                     "the 5%% budget" % (100.0 * geomean))
+print("fault overhead guard: geomean %+.1f%% over %d benchmarks "
+      "(budget 5%%)" % (100.0 * geomean, n))
+PY
+    rm -f fault_on_1.json fault_on_2.json fault_on_3.json fault_on_4.json \
+          fault_on_5.json fault_off_1.json fault_off_2.json \
+          fault_off_3.json fault_off_4.json fault_off_5.json
+  else
+    echo "fault overhead guard: micro_ops not built; skipped"
   fi
 fi
 
