@@ -52,7 +52,7 @@
 #include "core/dwcas.hpp"
 #include "core/substack.hpp"  // kPackedPtrMask
 #include "core/window.hpp"
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "obs/metrics.hpp"
 
 namespace r2d::core {
@@ -102,7 +102,7 @@ class alignas(64) DwcasDequeColumn {
       // Injected DWCAS loss (here and below): indistinguishable from a
       // racing writer bumping the tags — reports contention, nothing
       // mutated, and drives the helping/bridge machinery on retry.
-      if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
+      if (R2D_HOOK_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
         obs::count<obs::Counter::kDwcasRetries>();
         return Probe::kContended;
       }
@@ -127,7 +127,7 @@ class alignas(64) DwcasDequeColumn {
       desired = WordPair{pack_front(a.front, kPushBack, front_tag(a) + 1),
                          pack_back(node, back_tag(a) + 1)};
     }
-    if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
+    if (R2D_HOOK_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
       obs::count<obs::Counter::kDwcasRetries>();
       return Probe::kContended;
     }
@@ -184,7 +184,7 @@ class alignas(64) DwcasDequeColumn {
                    pack_back(node->prev.load(std::memory_order_acquire),
                              back_tag(a) + 1)};
     }
-    if (R2D_FAULT_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
+    if (R2D_HOOK_POINT(kDwcasHead) || !dwcas(head_, a.words, desired)) {
       obs::count<obs::Counter::kDwcasRetries>();
       return Probe::kContended;
     }

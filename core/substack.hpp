@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "sched/dst.hpp"
+
 namespace r2d::core {
 
 static_assert(sizeof(void*) == 8,
@@ -146,9 +148,13 @@ class InstanceLocal {
 
 /// Thread-local PRNG for hop decisions (xorshift64*; cheap, no libc state).
 inline std::uint64_t hop_rand() {
-  thread_local std::uint64_t state =
+  // Address entropy (ASLR) decorrelates threads for free in production;
+  // under a seeded DST run the scheduler substitutes a deterministic
+  // per-ordinal seed so hop sequences replay (sched/dst.hpp). The init
+  // runs at each fresh thread's first call, i.e. while attached.
+  thread_local std::uint64_t state = sched::hop_seed(
       0x9e3779b97f4a7c15ull ^
-      reinterpret_cast<std::uint64_t>(&state);
+      reinterpret_cast<std::uint64_t>(&state));
   state ^= state >> 12;
   state ^= state << 25;
   state ^= state >> 27;

@@ -32,7 +32,7 @@
 
 #include "core/params.hpp"
 #include "core/substack.hpp"  // hop_rand
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "obs/metrics.hpp"
 
 namespace r2d::core {
@@ -197,7 +197,7 @@ bool drive_window_sweep(const TwoDParams& p,
     // Injected stall: a forced yield between the window re-read and the
     // probe — the worst spot for preemption, where a concurrent shift
     // invalidates the certification this sweep is building.
-    if (R2D_FAULT_POINT(kSweepStall)) [[unlikely]] {
+    if (R2D_HOOK_POINT(kSweepStall)) [[unlikely]] {
       std::this_thread::yield();
     }
     {
@@ -254,7 +254,7 @@ bool drive_window_sweep(const TwoDParams& p,
         // Injected shift loss: behaves exactly like losing the CAS to a
         // racing shifter, without executing it — the window is re-read
         // and the sweep restarts; monotonicity is untouched.
-        const bool won = !R2D_FAULT_POINT(kShiftCas) &&
+        const bool won = !R2D_HOOK_POINT(kShiftCas) &&
                          window.compare_exchange_strong(
                              expected, c.target, std::memory_order_acq_rel,
                              std::memory_order_relaxed);

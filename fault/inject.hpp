@@ -67,6 +67,12 @@ enum class Site : std::uint8_t {
   kSweepStall,        ///< drive_window_sweep — forced yield at loop top
   kShiftCas,          ///< window shift CAS — counted as lost, not run
   kDwcasHead,         ///< DWCAS column head — forced failure → helping
+  kStackCas,          ///< Treiber/Elimination central CAS — forced retry
+  kElimExchange,      ///< Elimination collision layer — forced miss →
+                      ///< fall through to the central stack
+  kSegmentCell,       ///< KSegment cell scan — probe skipped this cell
+  kColumnPick,        ///< Random/RandomC2/KRobin pick loop — forced
+                      ///< re-pick / probe consumed
   kCount,
 };
 
@@ -85,6 +91,10 @@ constexpr const char* site_name(Site s) {
     case Site::kSweepStall: return "sweep-stall";
     case Site::kShiftCas: return "shift-cas";
     case Site::kDwcasHead: return "dwcas-head";
+    case Site::kStackCas: return "stack-cas";
+    case Site::kElimExchange: return "elim-exchange";
+    case Site::kSegmentCell: return "segment-cell";
+    case Site::kColumnPick: return "column-pick";
     case Site::kCount: break;
   }
   return "?";
@@ -233,8 +243,10 @@ class Injector<true> {
   enum class Policy : std::uint8_t { kOff, kNth, kRate, kSite };
 
   Injector() {
+    // Strict seed parse: a typo'd reproducer line must abort loudly, not
+    // silently replay seed 0 (util::env_u64_strict, shared with sched/).
     configure(util::env_str("R2D_FAULT", "off"),
-              util::env_u64("R2D_FAULT_SEED", 0));
+              util::env_u64_strict("R2D_FAULT_SEED", 0));
   }
 
   static std::uint64_t parse_u64(const std::string& s) {

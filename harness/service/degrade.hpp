@@ -126,6 +126,20 @@ class DegradeController {
     }
   }
 
+  /// Unconditional entry into degraded mode, outside the windowed
+  /// hysteresis — the stall watchdog's lever (sched/watchdog.hpp): a
+  /// container that stopped making progress gets its admission pressure
+  /// widened immediately rather than at the next window boundary.
+  /// Single-threaded with record() (the generator polls the stall flag).
+  void force_enter() {
+    if (factor_ == 1 || degraded_) return;
+    degraded_ = true;
+    ++entries_;
+    seen_ = 0;
+    rejected_ = 0;
+    gate_.set_effective_cap(gate_.cap() * factor_);
+  }
+
   bool degraded() const { return degraded_; }
   std::uint64_t entries() const { return entries_; }
 

@@ -41,6 +41,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "harness/service/degrade.hpp"
 #include "harness/service/shed.hpp"
 #include "harness/workload.hpp"
+#include "sched/watchdog.hpp"
 
 namespace r2d::harness::service {
 
@@ -77,6 +79,11 @@ struct ServiceConfig {
   RetryPolicy retry;
   std::uint64_t degrade_factor = 1;    ///< R2D_DEGRADE_FACTOR; 1 = off
   std::uint64_t degrade_window = 256;  ///< R2D_DEGRADE_WINDOW, arrivals
+  /// Stall watchdog deadline (R2D_WATCHDOG_MS; 0 = off): a background
+  /// monitor samples completions, and a deadline with no progress while
+  /// tasks are outstanding dumps obs forensics and forces the
+  /// DegradeController into degraded mode (sched/watchdog.hpp).
+  std::uint64_t watchdog_ms = 0;
 
   /// Lift the Workload arrival knobs into a service run shape.
   static ServiceConfig from_workload(const Workload& w) {
@@ -93,6 +100,7 @@ struct ServiceConfig {
     c.retry = RetryPolicy::from_env();
     c.degrade_factor = util::env_u64("R2D_DEGRADE_FACTOR", 1);
     c.degrade_window = util::env_u64("R2D_DEGRADE_WINDOW", 256);
+    c.watchdog_ms = util::env_u64("R2D_WATCHDOG_MS", 0);
     return c;
   }
 };
@@ -105,6 +113,7 @@ struct ServiceResult {
   std::uint64_t retries = 0;    ///< admission retries across all arrivals
   std::uint64_t degraded_entries = 0;  ///< times the cap was widened
   bool degraded = false;               ///< any degraded period occurred
+  std::uint64_t stalls = 0;            ///< watchdog no-progress verdicts
   std::uint64_t completed = 0;
   Histogram response;               ///< ns from intended arrival
   std::uint64_t slo_violations = 0;
@@ -217,6 +226,26 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
 
   const auto origin = Clock::now();
 
+  // Stall watchdog (sched/watchdog.hpp): progress = completions; idle
+  // while nothing is outstanding (the gate's counters are atomics, safe
+  // to sample from the monitor thread). On a stall it dumps forensics
+  // to stderr and raises a flag the generator converts into forced
+  // degradation at its next arrival.
+  std::atomic<bool> stall_flag{false};
+  std::unique_ptr<sched::Watchdog> watchdog;
+  if (config.watchdog_ms != 0) {
+    sched::Watchdog::Config wd;
+    wd.deadline = std::chrono::milliseconds(config.watchdog_ms);
+    wd.idle = [&admission] {
+      return admission.admitted() == admission.completed();
+    };
+    wd.on_stall = [&stall_flag](const std::string&) {
+      stall_flag.store(true, std::memory_order_release);
+    };
+    watchdog = std::make_unique<sched::Watchdog>(
+        [&admission] { return admission.completed(); }, std::move(wd));
+  }
+
   std::thread generator([&] {
     const RetryPolicy retry = config.retry;
     DegradeController degrade(admission, config.degrade_factor,
@@ -264,6 +293,12 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
             Clock::now() >= deadline) {
           deadline_hit = true;
         }
+      }
+      // A watchdog stall verdict forces degraded mode immediately: the
+      // service keeps absorbing arrivals at the widened cap instead of
+      // shedding everything behind a wedged container.
+      if (stall_flag.exchange(false, std::memory_order_acq_rel)) {
+        degrade.force_enter();
       }
       if (acquired) {
         try {
@@ -356,6 +391,7 @@ ServiceResult run_service(Queue& queue, const ServiceConfig& config) {
   for (std::thread& w : workers) w.join();
 
   ServiceResult result;
+  if (watchdog) result.stalls = watchdog->stall_count();
   result.generated = generated;
   result.admitted = admission.admitted();
   result.shed = admission.shed();

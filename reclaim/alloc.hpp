@@ -28,7 +28,7 @@
 #include <new>
 #include <utility>
 
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/pool.hpp"
 #include "reclaim/slot_registry.hpp"
@@ -42,7 +42,7 @@ template <typename T>
 struct HeapAlloc {
   template <typename... Args>
   T* acquire(Args&&... args) {
-    if (R2D_FAULT_POINT(kHeapAlloc)) [[unlikely]] throw std::bad_alloc{};
+    if (R2D_HOOK_POINT(kHeapAlloc)) [[unlikely]] throw std::bad_alloc{};
     return new T{std::forward<Args>(args)...};
   }
   void release(T* obj) { delete obj; }
@@ -153,7 +153,7 @@ class PoolAlloc : private detail::Lessor {
     // Forced magazine miss: go straight to the slab layer WITHOUT
     // touching the magazines (bypassing a populated magazine into the
     // depot-refill path would clobber `mag` and leak its chain).
-    if (R2D_FAULT_POINT(kMagazineTake)) [[unlikely]] {
+    if (R2D_HOOK_POINT(kMagazineTake)) [[unlikely]] {
       return pool_.alloc_block();
     }
     void* block = s->mag;
@@ -171,7 +171,7 @@ class PoolAlloc : private detail::Lessor {
     }
     // Forced depot miss: both magazines are empty here, so skipping the
     // scan safely lands on the slab path.
-    if (R2D_FAULT_POINT(kDepotPop)) [[unlikely]] {
+    if (R2D_HOOK_POINT(kDepotPop)) [[unlikely]] {
       return pool_.alloc_block();
     }
     if ((block = depot_pop(s)) != nullptr) {

@@ -27,7 +27,7 @@
 #include <mutex>
 #include <vector>
 
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/membarrier.hpp"
 #include "reclaim/slot_registry.hpp"
@@ -271,7 +271,7 @@ class EpochReclaimer : private detail::Lessor {
 #if !R2D_EBR_DEFER_FREES
     // Injected deferral: skipping a drain is always legal — the queue
     // just waits for the next advance (what a real bad_alloc below does).
-    if (R2D_FAULT_POINT(kEpochOrphanDrain)) [[unlikely]] return;
+    if (R2D_HOOK_POINT(kEpochOrphanDrain)) [[unlikely]] return;
     if (orphan_count_.load(std::memory_order_acquire) == 0) return;
     std::vector<Orphan> ready;
     {

@@ -17,7 +17,7 @@
 #include <mutex>
 #include <vector>
 
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "obs/metrics.hpp"
 #include "reclaim/slot_registry.hpp"
 
@@ -226,7 +226,7 @@ class HazardReclaimer : private detail::Lessor {
     // Injected deferral: a skipped scan only delays frees; the retired
     // list keeps growing until a later scan succeeds — exactly the
     // real-bad_alloc fallback below.
-    if (R2D_FAULT_POINT(kHazardScan)) [[unlikely]] return;
+    if (R2D_HOOK_POINT(kHazardScan)) [[unlikely]] return;
     obs::count<obs::Counter::kHazardScans>();
     // Adopt orphaned retirees first: they get the same hazard re-check as
     // our own, so a node a live thread still protects survives the scan.

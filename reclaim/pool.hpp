@@ -37,7 +37,7 @@
 #include <utility>
 
 #include "core/substack.hpp"  // InstanceLocal
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "reclaim/slot_registry.hpp"  // next_instance_id
 
 namespace r2d::reclaim {
@@ -188,7 +188,7 @@ class Pool {
   bool grow(std::uint64_t& cur) {
     const std::size_t bytes = kBlockStride * (kSlabBlocks + 1);
     auto* fresh = static_cast<Slab*>(
-        R2D_FAULT_POINT(kSlabGrow)
+        R2D_HOOK_POINT(kSlabGrow)
             ? nullptr
             : ::operator new(bytes, std::align_val_t{kBlockAlign},
                              std::nothrow));

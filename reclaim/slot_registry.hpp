@@ -45,7 +45,7 @@
 #include <utility>
 #include <vector>
 
-#include "fault/inject.hpp"
+#include "sched/hook.hpp"
 #include "util/env.hpp"
 
 namespace r2d::reclaim {
@@ -300,7 +300,7 @@ Slot* claim_slot(Slot* slots, std::size_t max_slots,
   // Injected exhaustion: what every claim site must absorb — thrown at
   // entry, before any registry or slot state is touched, so unwinding
   // observes exactly the pre-call container state.
-  if (R2D_FAULT_POINT(kSlotClaim)) [[unlikely]] {
+  if (R2D_HOOK_POINT(kSlotClaim)) [[unlikely]] {
     throw SlotsExhausted(max_slots, max_slots, 0, 0);
   }
   const std::uint64_t token = thread_token();
@@ -342,7 +342,7 @@ Slot* claim_slot(Slot* slots, std::size_t max_slots,
   // Injected steal failure: skipping the pass models losing every
   // arbitration CAS; the claimer then reports exhaustion exactly as if
   // the dead slots were not quiesced.
-  if (slot_steal_enabled() && !R2D_FAULT_POINT(kSlotSteal)) {
+  if (slot_steal_enabled() && !R2D_HOOK_POINT(kSlotSteal)) {
     // Steal pass: reclaim a slot whose owner's thread is gone and whose
     // state is quiesced. is_live under the registry mutex gives the edge
     // that makes the dead owner's parked state safe to read after the CAS.

@@ -1,0 +1,222 @@
+// Op-event histories + post-run checkers for DST runs (DESIGN.md §16).
+//
+// Each scheduled thread records its operations on a private tape —
+// invoke/response timestamps from a shared logical clock, op kind,
+// value, end flag, outcome. Post-run the tapes merge into one history
+// that two oracles consume:
+//
+//   * `linearizable()` — a Wing & Gong linearizability checker for the
+//     strict structures (TreiberStack, width-1 TwoDQueue): DFS over
+//     every admissible linearization order (an op may go first only if
+//     no other pending op *responded* before it was invoked), memoized
+//     on (completed-op mask, abstract state). Exponential in the worst
+//     case, fine for the ≤ 48-op histories DST explores.
+//   * `to_quality_events()` — bridges to the harness/quality.hpp rank
+//     oracle for the relaxed structures: push tickets at invoke, pop
+//     tickets at response (the same convention the wall-clock harness
+//     uses), so `quality::replay` bounds the rank error against
+//     `TwoDParams::k_bound()` per schedule.
+//
+// Under the scheduler the clock stamps are serialized, so two runs of
+// the same seed produce byte-identical `serialize()` output — that
+// string equality IS the bit-replayability assertion in test_sched.
+//
+// This header works in every build (recording needs no scheduler); it
+// is harness code, never included by the library proper.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/quality.hpp"
+
+namespace r2d::sched {
+
+enum class OpKind : std::uint8_t { kPush, kPop };
+
+struct Op {
+  unsigned thread = 0;
+  OpKind kind = OpKind::kPush;
+  std::uint64_t value = 0;  ///< pushed value, or popped value when ok
+  bool ok = true;           ///< push admitted / pop returned a value
+  bool front = false;       ///< which end (deque); ignored otherwise
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+};
+
+/// One shared logical clock + one lock-free tape per thread.
+class History {
+ public:
+  explicit History(unsigned threads) : tapes_(threads) {}
+
+  /// Draw the next clock stamp; call immediately before (invoke) and
+  /// after (response) the container op. Serialized under the scheduler,
+  /// merely monotonic under free-running threads.
+  std::uint64_t stamp() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void record(unsigned thread, Op op) {
+    op.thread = thread;
+    tapes_[thread].push_back(op);
+  }
+
+  /// Convenience recorders around a completed operation.
+  void push(unsigned thread, std::uint64_t value, bool ok,
+            std::uint64_t invoke, std::uint64_t response,
+            bool front = false) {
+    record(thread, Op{thread, OpKind::kPush, value, ok, front, invoke,
+                      response});
+  }
+  void pop(unsigned thread, std::optional<std::uint64_t> value,
+           std::uint64_t invoke, std::uint64_t response,
+           bool front = false) {
+    record(thread, Op{thread, OpKind::kPop, value.value_or(0),
+                      value.has_value(), front, invoke, response});
+  }
+
+  /// All tapes merged, ordered by invoke stamp (total under the
+  /// scheduler — the clock never ties).
+  std::vector<Op> merged() const {
+    std::vector<Op> all;
+    for (const auto& tape : tapes_) {
+      all.insert(all.end(), tape.begin(), tape.end());
+    }
+    std::sort(all.begin(), all.end(), [](const Op& a, const Op& b) {
+      return a.invoke < b.invoke;
+    });
+    return all;
+  }
+
+  /// Canonical text form; byte equality across two runs of the same
+  /// seed is the replay-determinism assertion.
+  std::string serialize() const {
+    std::ostringstream out;
+    for (const Op& op : merged()) {
+      out << 't' << op.thread
+          << (op.kind == OpKind::kPush ? " push " : " pop ") << op.value
+          << (op.ok ? " ok" : " no") << (op.front ? " front" : " back")
+          << " i" << op.invoke << " r" << op.response << '\n';
+    }
+    return out.str();
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& tape : tapes_) n += tape.size();
+    return n;
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<Op>> tapes_;
+};
+
+enum class Semantics : std::uint8_t { kLifo, kFifo };
+
+namespace detail {
+
+/// Abstract sequential state: live values in container order (back of
+/// the vector = most recent push). Push appends; a LIFO pop takes the
+/// back, a FIFO pop takes the front; a failed pop requires emptiness.
+/// Returns false when the op cannot apply to this state.
+inline bool apply(std::vector<std::uint64_t>& state, const Op& op,
+                  Semantics sem) {
+  if (op.kind == OpKind::kPush) {
+    if (op.ok) state.push_back(op.value);  // rejected push = no-op
+    return true;
+  }
+  if (!op.ok) return state.empty();
+  if (state.empty()) return false;
+  if (sem == Semantics::kLifo) {
+    if (state.back() != op.value) return false;
+    state.pop_back();
+  } else {
+    if (state.front() != op.value) return false;
+    state.erase(state.begin());
+  }
+  return true;
+}
+
+inline std::uint64_t state_hash(std::uint64_t mask,
+                                const std::vector<std::uint64_t>& state) {
+  // Multiply the mask in before mixing values: a bare XOR seed cancels
+  // against the first value (hash(mask=1,[1]) == hash(mask=2,[2])).
+  std::uint64_t h = (1469598103934665603ull ^ mask) * 1099511628211ull;
+  for (const std::uint64_t v : state) {
+    h = (h ^ v) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+/// Wing & Gong: is there a linearization order consistent with the
+/// real-time partial order (op A precedes op B iff A.response <
+/// B.invoke) under which every op's return value is legal? Histories
+/// are capped at 64 ops (the completion mask is one word).
+inline bool linearizable(const std::vector<Op>& history, Semantics sem) {
+  const std::size_t n = history.size();
+  assert(n <= 64 && "linearizable(): history longer than the 64-op cap");
+  if (n == 0) return true;
+  const std::uint64_t full =
+      n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+
+  std::unordered_set<std::uint64_t> visited;
+  struct Frame {
+    std::uint64_t mask;
+    std::vector<std::uint64_t> state;
+  };
+  std::vector<Frame> work;
+  work.push_back({0, {}});
+  visited.insert(detail::state_hash(0, {}));
+  while (!work.empty()) {
+    Frame frame = std::move(work.back());
+    work.pop_back();
+    if (frame.mask == full) return true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frame.mask & (std::uint64_t{1} << i)) continue;
+      // i may linearize next only if no other pending op already
+      // responded before i was invoked.
+      bool minimal = true;
+      for (std::size_t j = 0; j < n && minimal; ++j) {
+        if (j == i || (frame.mask & (std::uint64_t{1} << j))) continue;
+        if (history[j].response < history[i].invoke) minimal = false;
+      }
+      if (!minimal) continue;
+      std::vector<std::uint64_t> next_state = frame.state;
+      if (!detail::apply(next_state, history[i], sem)) continue;
+      const std::uint64_t next_mask = frame.mask | (std::uint64_t{1} << i);
+      if (visited.insert(detail::state_hash(next_mask, next_state)).second) {
+        work.push_back({next_mask, std::move(next_state)});
+      }
+    }
+  }
+  return false;
+}
+
+/// Bridge to the rank-error oracle: push tickets at invoke, pop tickets
+/// at response (harness/quality.hpp convention). Failed ops carry no
+/// event; values double as labels, so each schedule must push distinct
+/// values.
+inline std::vector<quality::Event> to_quality_events(
+    const std::vector<Op>& history) {
+  std::vector<quality::Event> events;
+  events.reserve(history.size());
+  for (const Op& op : history) {
+    if (!op.ok) continue;
+    const bool is_push = op.kind == OpKind::kPush;
+    events.push_back(quality::Event{is_push ? op.invoke : op.response,
+                                    op.value, is_push, op.front});
+  }
+  return events;
+}
+
+}  // namespace r2d::sched

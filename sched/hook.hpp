@@ -1,0 +1,29 @@
+// The shared hook-point layer (DESIGN.md §15/§16).
+//
+// One site list feeds three consumers: fault injection decides whether
+// this evaluation should *fail* (fault/inject.hpp), obs counts what got
+// injected (via fault's on_inject hook), and the deterministic
+// scheduler treats every hook as a potential *preemption point*
+// (sched/dst.hpp). `R2D_HOOK_POINT(site)` reads as the same predicate
+// `R2D_FAULT_POINT` always was:
+//
+//   if (R2D_HOOK_POINT(kHeapAlloc)) throw std::bad_alloc{};
+//
+// but first gives the scheduler a chance to deschedule the calling
+// thread — so the site catalogue in fault/inject.hpp doubles as the
+// scheduler's interleaving vocabulary, and a site added for fault
+// torture becomes an adversarial schedule point for free.
+//
+// In the default build (R2D_SCHED=0, R2D_FAULT=0) the whole expression
+// folds to `(void)0, false` and dead-code-eliminates; the ci.sh
+// overhead guards hold each subsystem to ≤5% when compiled in but off.
+#pragma once
+
+#include "fault/inject.hpp"
+#include "sched/dst.hpp"
+
+/// Preemption point + fault point, in that order: the scheduler may
+/// interleave another thread *before* the fault decision, so the
+/// injected failure lands in the freshest adversarial state.
+#define R2D_HOOK_POINT(site) \
+  (::r2d::sched::preempt_point(), R2D_FAULT_POINT(site))

@@ -14,8 +14,12 @@
 # bench/service_dispatch.cpp for the schemas).
 #
 # Every config also builds and tests with -DR2D_OBS=0 (the obs subsystem
-# compiled out), and the plain config ends with an overhead guard: paired
-# Release micro_ops runs, metrics-on vs R2D_OBS=0, must stay within 5%.
+# compiled out), with -DR2D_FAULT=1 (injector in), and with -DR2D_SCHED=1
+# (deterministic scheduler in, including a seeded schedule sweep that
+# crosses 1000 history-checked schedules in the plain config and writes
+# BENCH_sched.json). The plain config ends with overhead guards: paired
+# Release micro_ops runs — metrics-on vs R2D_OBS=0, default vs dormant
+# R2D_FAULT=1, default vs dormant R2D_SCHED=1 — must each stay within 5%.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +28,7 @@ SANITIZER="${R2D_SANITIZER:-}"
 
 cmake -B "$BUILD_DIR" -S . -DR2D_SANITIZER="$SANITIZER"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 180 -j "$(nproc)"
 
 # Zero-cost-when-off is a build-matrix claim, not just a perf claim: every
 # config (plain/asan/tsan) also compiles and tests with the obs subsystem
@@ -33,7 +37,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "=== off-build: R2D_OBS=0 ==="
 cmake -B "$BUILD_DIR-noobs" -S . -DR2D_SANITIZER="$SANITIZER" -DR2D_OBS=0
 cmake --build "$BUILD_DIR-noobs" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR-noobs" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR-noobs" --output-on-failure --timeout 180 -j "$(nproc)"
 
 # Fault-injection arm (DESIGN.md §15): every config (plain/asan/tsan) also
 # builds with the injector compiled in and runs the full tier-1 suite —
@@ -42,7 +46,7 @@ ctest --test-dir "$BUILD_DIR-noobs" --output-on-failure -j "$(nproc)"
 echo "=== fault build: R2D_FAULT=1 ==="
 cmake -B "$BUILD_DIR-fault" -S . -DR2D_SANITIZER="$SANITIZER" -DR2D_FAULT=1
 cmake --build "$BUILD_DIR-fault" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR-fault" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR-fault" --output-on-failure --timeout 180 -j "$(nproc)"
 # Rate torture: the same binary re-run under an env-selected random
 # injection policy — 4-thread hammers where ~2% of every resource
 # acquisition, steal pass, shift CAS, and DWCAS fails, with multiset
@@ -53,6 +57,47 @@ R2D_FAULT=rate:0.02 R2D_FAULT_SEED=7 "$BUILD_DIR-fault/tests/test_fault"
 # policy, exercising the env-configured (not test-configured) path.
 echo "=== fault env torture: R2D_FAULT=nth:1000 ==="
 R2D_FAULT=nth:1000 R2D_FAULT_SEED=7 "$BUILD_DIR-fault/tests/test_fault"
+
+# Scheduler arm (DESIGN.md §16): every config also builds with the sched/
+# deterministic scheduler compiled in and runs the full tier-1 suite —
+# test_sched's replay-determinism, linearizability, and k-bound checks
+# only explore schedules here (the default build stubs the scheduler).
+echo "=== sched build: R2D_SCHED=1 ==="
+cmake -B "$BUILD_DIR-sched" -S . -DR2D_SANITIZER="$SANITIZER" -DR2D_SCHED=1
+cmake --build "$BUILD_DIR-sched" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR-sched" --output-on-failure --timeout 180 \
+  -j "$(nproc)"
+# Seed sweep: seeds x {random, pct:1, pct:3} x 5 history-checked suites
+# per seed. The plain config crosses the 1000-schedule bar (70*3*5 =
+# 1050 + the fixed replay/budget schedules); sanitizer configs run a
+# shorter sweep for wall-clock budget — the schedules themselves are
+# identical, only the count differs.
+if [ -z "$SANITIZER" ]; then
+  SCHED_SWEEP_SEEDS=70
+else
+  SCHED_SWEEP_SEEDS=12
+fi
+echo "=== sched seed sweep: $SCHED_SWEEP_SEEDS seeds x 3 policies ==="
+R2D_SCHED_SWEEP_SEEDS="$SCHED_SWEEP_SEEDS" "$BUILD_DIR-sched/tests/test_sched"
+# Exploration bench smoke: the sweep table + BENCH_sched.json must report
+# zero oracle violations and zero perturbed (budget-blown) runs.
+echo "=== smoke: sched_explore -> BENCH_sched.json ==="
+rm -f BENCH_sched.json
+R2D_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  R2D_SCHED_SWEEP_SEEDS=8 R2D_BENCH_JSON=BENCH_sched.json \
+  "$BUILD_DIR-sched/sched_explore"
+test -s BENCH_sched.json
+grep -q '"sched_compiled": true' BENCH_sched.json
+grep -q '"policy": "pct:3"' BENCH_sched.json
+grep -q '"structure": "2D-deque"' BENCH_sched.json
+if grep -q '"bugs": [1-9]' BENCH_sched.json; then
+  echo "sched_explore recorded oracle violations" >&2
+  exit 1
+fi
+if grep -q '"perturbed": [1-9]' BENCH_sched.json; then
+  echo "sched_explore recorded perturbed (non-replayable) runs" >&2
+  exit 1
+fi
 
 # Smoke one figure bench end to end with tiny settings: catches crashes and
 # hangs in the measured loops that unit tests cannot.
@@ -313,6 +358,69 @@ PY
           fault_off_3.json fault_off_4.json fault_off_5.json
   else
     echo "fault overhead guard: micro_ops not built; skipped"
+  fi
+
+  # Sched overhead guard (same harness shape): a Release build with the
+  # scheduler compiled in but dormant (R2D_SCHED=off) must stay within 5%
+  # (geomean) of the default build — the cost of a dormant hook point is
+  # one relaxed load, measured. The default build's zero cost is
+  # structural: preempt_point() is constexpr empty (test_sched asserts
+  # the stub's API parity).
+  SCHED_PERF_DIR=build-perf-sched
+  cmake -B "$SCHED_PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DR2D_SANITIZER= -DR2D_SCHED=1
+  cmake --build "$SCHED_PERF_DIR" -j "$(nproc)"
+  if [ -x "$PERF_DIR/micro_ops" ] && [ -x "$SCHED_PERF_DIR/micro_ops" ]; then
+    echo "=== overhead guard: default vs R2D_SCHED=1 (policy off) ==="
+    for i in 1 2 3 4 5; do
+      R2D_SCHED=off "$SCHED_PERF_DIR/micro_ops" \
+        --benchmark_filter='single/' --benchmark_min_time=0.05 \
+        --benchmark_out="sched_on_$i.json" --benchmark_out_format=json \
+        > /dev/null
+      "$PERF_DIR/micro_ops" --benchmark_filter='single/' \
+        --benchmark_min_time=0.05 --benchmark_out="sched_off_$i.json" \
+        --benchmark_out_format=json > /dev/null
+    done
+    python3 - <<'PY'
+import json
+import math
+
+def best(paths):
+    out = {}
+    for p in paths:
+        with open(p) as f:
+            rows = json.load(f)["benchmarks"]
+        for b in rows:
+            t = b["real_time"]
+            if b["name"] not in out or t < out[b["name"]]:
+                out[b["name"]] = t
+    return out
+
+on = best(["sched_on_%d.json" % i for i in (1, 2, 3, 4, 5)])
+off = best(["sched_off_%d.json" % i for i in (1, 2, 3, 4, 5)])
+logsum, n = 0.0, 0
+for name in sorted(off):
+    if name not in on:
+        continue
+    ratio = on[name] / off[name]
+    logsum += math.log(ratio)
+    n += 1
+    print("  %-40s off=%8.1fns on=%8.1fns (%+.1f%%)"
+          % (name, off[name], on[name], 100.0 * (ratio - 1.0)))
+if n == 0:
+    raise SystemExit("sched overhead guard: no common benchmarks")
+geomean = math.exp(logsum / n) - 1.0
+if geomean > 0.05:
+    raise SystemExit("dormant-scheduler overhead %.1f%% (geomean) exceeds "
+                     "the 5%% budget" % (100.0 * geomean))
+print("sched overhead guard: geomean %+.1f%% over %d benchmarks "
+      "(budget 5%%)" % (100.0 * geomean, n))
+PY
+    rm -f sched_on_1.json sched_on_2.json sched_on_3.json sched_on_4.json \
+          sched_on_5.json sched_off_1.json sched_off_2.json \
+          sched_off_3.json sched_off_4.json sched_off_5.json
+  else
+    echo "sched overhead guard: micro_ops not built; skipped"
   fi
 fi
 

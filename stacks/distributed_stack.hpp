@@ -22,6 +22,7 @@
 #include "core/substack.hpp"
 #include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
+#include "sched/hook.hpp"
 
 namespace r2d::stacks {
 
@@ -144,7 +145,11 @@ class RandomStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
 
   void push(T value) {
     Node* node = this->make_node(std::move(value));
-    while (!this->try_push_at(this->random_index(), node)) {
+    while (true) {
+      // Forced miss re-picks, as if the chosen column's CAS was lost;
+      // pop_scan stays unhooked so its certification is never skewed.
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] continue;
+      if (this->try_push_at(this->random_index(), node)) return;
     }
   }
 
@@ -152,6 +157,7 @@ class RandomStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
     auto guard = this->reclaimer_.pin();
     // A few random probes, then the certified scan.
     for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] continue;
       bool was_empty = false;
       if (auto v = this->try_pop_at(guard, this->random_index(), was_empty)) {
         return v;
@@ -181,6 +187,7 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
   void push(T value) {
     Node* node = this->make_node(std::move(value));
     while (true) {
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] continue;
       const auto [a, b] = sample_two();
       // Push to the shorter column: keeps the columns balanced, which is
       // what bounds the observed rank error. Both counts come from one
@@ -194,6 +201,7 @@ class RandomC2Stack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
   std::optional<T> pop() {
     auto guard = this->reclaimer_.pin();
     for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] continue;
       const auto [a, b] = sample_two();
       // Pop from the taller column: its top is the more recent push.
       const std::size_t target =
@@ -227,7 +235,12 @@ class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
   void push(T value) {
     Node* node = this->make_node(std::move(value));
     std::size_t index = next_index();
-    while (!this->try_push_at(index, node)) {
+    while (true) {
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] {
+        index = next_index();
+        continue;
+      }
+      if (this->try_push_at(index, node)) return;
       index = next_index();
     }
   }
@@ -235,6 +248,7 @@ class KRobinStack : public detail::ColumnArrayStack<T, Reclaimer, Alloc> {
   std::optional<T> pop() {
     auto guard = this->reclaimer_.pin();
     for (std::size_t probe = 0; probe < this->width_; ++probe) {
+      if (R2D_HOOK_POINT(kColumnPick)) [[unlikely]] continue;
       bool was_empty = false;
       if (auto v = this->try_pop_at(guard, next_index(), was_empty)) {
         return v;

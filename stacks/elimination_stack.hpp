@@ -24,6 +24,7 @@
 #include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/slot_registry.hpp"
+#include "sched/hook.hpp"
 
 namespace r2d::stacks {
 
@@ -93,6 +94,12 @@ class EliminationStack {
     while (true) {
       std::uint64_t word = column_.head.load(std::memory_order_acquire);
       for (unsigned attempt = 0;; ++attempt) {
+        // Forced miss consumes a central attempt, like a lost CAS.
+        if (R2D_HOOK_POINT(kStackCas)) [[unlikely]] {
+          if (attempt + 1 >= params_.cas_attempts) break;
+          word = column_.head.load(std::memory_order_acquire);
+          continue;
+        }
         node->next = core::head_node<T>(word);
         if (column_.head.compare_exchange_strong(
                 word,
@@ -118,6 +125,11 @@ class EliminationStack {
         std::uint64_t word =
             guard.protect_word(column_.head, core::head_node<T>);
         for (unsigned attempt = 0;; ++attempt) {
+          if (R2D_HOOK_POINT(kStackCas)) [[unlikely]] {
+            if (attempt + 1 >= params_.cas_attempts) break;
+            word = guard.protect_word(column_.head, core::head_node<T>);
+            continue;
+          }
           Node* head = core::head_node<T>(word);
           if (head == nullptr) return std::nullopt;
           Node* next = head->next;
@@ -154,6 +166,9 @@ class EliminationStack {
   /// Try to exchange with an opposite operation. `is_push` requests offer
   /// `value`; pops receive into it. Returns true when eliminated.
   bool eliminate(bool is_push, T& value) {
+    // Forced miss models an empty/contended collision layer: fall back
+    // to the central stack, which is always correct.
+    if (R2D_HOOK_POINT(kElimExchange)) [[unlikely]] return false;
     std::atomic<Record*>& slot =
         slots_[core::hop_rand() % params_.collision_slots];
     Record* occupant = slot.load(std::memory_order_acquire);
@@ -222,6 +237,10 @@ class EliminationStack {
              claim_as_partner(slot, expected, is_push, value);
     }
     for (std::uint64_t spin = 0; spin < params_.spin_budget; ++spin) {
+      // Under the DST scheduler a spinning waiter must yield or no
+      // partner can ever arrive; a forced miss reads as a timeout (the
+      // cancel path below is always correct).
+      if (R2D_HOOK_POINT(kElimExchange)) [[unlikely]] break;
       const std::uint64_t word = record->word.load(std::memory_order_acquire);
       if ((word & kStateMask) == kDoneTaken ||
           (word & kStateMask) == kDoneFilled) {
@@ -250,8 +269,11 @@ class EliminationStack {
                                              std::memory_order_acquire)) {
       return false;
     }
-    // A partner is (or was) mid-exchange: wait for it to finish.
+    // A partner is (or was) mid-exchange: wait for it to finish. The
+    // preemption point keeps this (two-instruction) wait from starving
+    // the partner under the cooperative scheduler.
     while (true) {
+      sched::preempt_point();
       word = record->word.load(std::memory_order_acquire);
       const std::uint64_t state = word & kStateMask;
       if (state == kDoneTaken || state == kDoneFilled) {

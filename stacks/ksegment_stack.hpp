@@ -19,6 +19,7 @@
 #include "core/substack.hpp"  // hop_rand
 #include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
+#include "sched/hook.hpp"
 
 namespace r2d::stacks {
 
@@ -161,6 +162,9 @@ class KSegmentStack {
     const std::size_t start =
         static_cast<std::size_t>(core::hop_rand()) % k_;
     for (std::size_t probe = 0; probe < k_; ++probe) {
+      // Forced miss skips the cell, as if another thread won its CAS;
+      // scan_empty stays unhooked so emptiness is never falsely certified.
+      if (R2D_HOOK_POINT(kSegmentCell)) [[unlikely]] continue;
       auto& cell = segment->cells[(start + probe) % k_];
       Item* expected = nullptr;
       if (cell.load(std::memory_order_acquire) != nullptr) continue;
@@ -183,6 +187,7 @@ class KSegmentStack {
     const std::size_t start =
         static_cast<std::size_t>(core::hop_rand()) % k_;
     for (std::size_t probe = 0; probe < k_; ++probe) {
+      if (R2D_HOOK_POINT(kSegmentCell)) [[unlikely]] continue;
       auto& cell = segment->cells[(start + probe) % k_];
       Item* item = cell.load(std::memory_order_acquire);
       if (item == nullptr) continue;

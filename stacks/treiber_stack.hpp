@@ -15,6 +15,7 @@
 #include "core/substack.hpp"
 #include "reclaim/alloc.hpp"
 #include "reclaim/epoch.hpp"
+#include "sched/hook.hpp"
 
 namespace r2d::stacks {
 
@@ -37,6 +38,12 @@ class TreiberStack {
     Node* node = alloc_.acquire(nullptr, std::move(value));
     std::uint64_t word = column_.head.load(std::memory_order_acquire);
     while (true) {
+      // Hook per CAS attempt: a preemption (or forced retry) here lands
+      // between reading the head and publishing against it.
+      if (R2D_HOOK_POINT(kStackCas)) [[unlikely]] {
+        word = column_.head.load(std::memory_order_acquire);
+        continue;
+      }
       node->next = core::head_node<T>(word);
       if (column_.head.compare_exchange_weak(
               word, core::pack_head(node, core::packed_count_after_push(word)),
@@ -54,6 +61,11 @@ class TreiberStack {
     auto guard = reclaimer_.pin();
     std::uint64_t word = guard.protect_word(column_.head, core::head_node<T>);
     while (true) {
+      // Forced miss reads as a lost CAS: re-cover the head and retry.
+      if (R2D_HOOK_POINT(kStackCas)) [[unlikely]] {
+        word = guard.protect_word(column_.head, core::head_node<T>);
+        continue;
+      }
       Node* head = core::head_node<T>(word);
       if (head == nullptr) return std::nullopt;
       Node* next = head->next;

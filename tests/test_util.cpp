@@ -1,4 +1,8 @@
 // util/ layer: env parsing, summary statistics, tables, histograms.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +28,66 @@ int main() {
     CHECK_EQ(r2d::util::env_u64("R2D_TEST_UNSET", 7), std::uint64_t{7});
     CHECK_EQ(r2d::util::env_str("R2D_TEST_STR", "x"), std::string("hello"));
     CHECK_EQ(r2d::util::env_str("R2D_TEST_UNSET", "x"), std::string("x"));
+  }
+  {
+    // The shared strict parser behind every seed knob (R2D_FAULT_SEED,
+    // R2D_SCHED_SEED): decimal + 0x-hex accepted, surrounding whitespace
+    // tolerated, any trailing garbage rejected.
+    std::uint64_t v = 99;
+    CHECK(r2d::util::parse_u64_strict("42", v));
+    CHECK_EQ(v, std::uint64_t{42});
+    CHECK(r2d::util::parse_u64_strict("0x2a", v));
+    CHECK_EQ(v, std::uint64_t{42});
+    CHECK(r2d::util::parse_u64_strict("  0xDEADbeef  ", v));
+    CHECK_EQ(v, std::uint64_t{0xdeadbeef});
+    CHECK(r2d::util::parse_u64_strict("0", v));
+    CHECK_EQ(v, std::uint64_t{0});
+    v = 99;
+    CHECK(!r2d::util::parse_u64_strict("", v));
+    CHECK(!r2d::util::parse_u64_strict("   ", v));
+    CHECK(!r2d::util::parse_u64_strict("12abc", v));
+    CHECK(!r2d::util::parse_u64_strict("0x", v));
+    CHECK(!r2d::util::parse_u64_strict("-1", v));
+    CHECK(!r2d::util::parse_u64_strict("12 34", v));
+    CHECK(!r2d::util::parse_u64_strict(nullptr, v));
+    CHECK_EQ(v, std::uint64_t{99});  // failures never touch out
+
+    // env_u64_strict: unset/empty fall back; well-formed parses. (The
+    // malformed case aborts by design — exercised via fork below.)
+    setenv("R2D_TEST_SEED", "0x1e7c", 1);
+    CHECK_EQ(r2d::util::env_u64_strict("R2D_TEST_SEED", 7),
+             std::uint64_t{0x1e7c});
+    CHECK_EQ(r2d::util::env_u64_strict("R2D_TEST_SEED_UNSET", 7),
+             std::uint64_t{7});
+    setenv("R2D_TEST_SEED_EMPTY", "", 1);
+    CHECK_EQ(r2d::util::env_u64_strict("R2D_TEST_SEED_EMPTY", 7),
+             std::uint64_t{7});
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define R2D_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define R2D_TEST_SANITIZED 1
+#endif
+#endif
+#ifndef R2D_TEST_SANITIZED
+#define R2D_TEST_SANITIZED 0
+#endif
+#if !R2D_TEST_SANITIZED
+    // A typo'd seed must abort loudly, never silently run seed 0.
+    const pid_t pid = fork();
+    CHECK(pid >= 0);
+    if (pid == 0) {
+      setenv("R2D_TEST_SEED_TYPO", "0x1e7cq", 1);
+      const int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) dup2(devnull, 2);
+      (void)r2d::util::env_u64_strict("R2D_TEST_SEED_TYPO", 0);
+      _exit(0);  // reaching here means the strict parse failed to die
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
+#endif
   }
   {
     const auto s = r2d::util::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,

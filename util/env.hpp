@@ -5,24 +5,58 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace r2d::util {
 
+/// Strict u64 parse shared by every integer knob: decimal or 0x-prefixed
+/// hex, optional surrounding whitespace, nothing else. Returns false
+/// (leaving `out` untouched) on empty input, negatives (which strtoull
+/// would wrap to huge magnitudes), or any trailing garbage — so "0x1e7c"
+/// with a dropped digit or a pasted-in stray character is a parse
+/// *failure*, never a silently different number.
+inline bool parse_u64_strict(const char* s, std::uint64_t& out) {
+  if (s == nullptr) return false;
+  const char* scan = s;
+  while (*scan == ' ' || *scan == '\t') ++scan;
+  if (*scan == '\0' || *scan == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scan, &end, 0);
+  if (end == scan) return false;
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
 /// Read an unsigned integer knob; returns `fallback` when unset or
 /// unparseable. Accepts decimal and 0x-prefixed hex; rejects negatives
-/// (which strtoull would otherwise wrap to huge magnitudes).
+/// and trailing garbage (via parse_u64_strict).
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  const char* scan = raw;
-  while (*scan == ' ' || *scan == '\t') ++scan;
-  if (*scan == '-') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 0);
-  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
-  return static_cast<std::uint64_t>(v);
+  std::uint64_t v = fallback;
+  return parse_u64_strict(raw, v) ? v : fallback;
+}
+
+/// Read an unsigned integer knob that must never be silently mis-read
+/// (seeds, reproducer lines): unset or empty returns `fallback`, but a
+/// malformed value aborts the process with a message naming the knob.
+/// A typo'd `R2D_SCHED_SEED=0x…` must fail loudly, not replay seed 0.
+inline std::uint64_t env_u64_strict(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t v = 0;
+  if (!parse_u64_strict(raw, v)) {
+    std::fprintf(stderr,
+                 "r2d: invalid %s='%s' (want decimal or 0x-hex, no trailing "
+                 "garbage)\n",
+                 name, raw);
+    std::abort();
+  }
+  return v;
 }
 
 /// Read a string knob; returns `fallback` when unset.
